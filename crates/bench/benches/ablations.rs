@@ -1,0 +1,101 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! routing model (hop-shortest vs contention-cheapest paths), the
+//! improving-removal cleanup, the span threshold, and the battery
+//! fairness term.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peercache_core::approx::{dual_ascent, ApproxConfig, ApproxPlanner};
+use peercache_core::costs::CostWeights;
+use peercache_core::instance::ConflInstance;
+use peercache_core::planner::{improve_by_removal, prune_unused_facilities, CachePlanner};
+use peercache_core::workload::paper_grid;
+use peercache_graph::paths::PathSelection;
+
+/// Hop-shortest routing (the paper's model) vs contention-cheapest
+/// routing: the min-cost ablation pays more path computation.
+fn path_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_selection");
+    for (label, selection) in [
+        ("fewest_hops", PathSelection::FewestHops),
+        ("min_cost", PathSelection::MinCost),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut net = paper_grid(6).expect("grid builds");
+                let cfg = ApproxConfig {
+                    selection,
+                    ..Default::default()
+                };
+                ApproxPlanner::new(cfg).plan(&mut net, 3).expect("plan")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cost of the improving-removal cleanup relative to the raw ascent.
+fn cleanup_cost(c: &mut Criterion) {
+    let net = paper_grid(6).expect("grid builds");
+    let inst = ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops)
+        .expect("instance builds");
+    let cfg = ApproxConfig::default();
+    let (raw, _) = dual_ascent(&net, &inst, &cfg).expect("ascent");
+    let pruned = prune_unused_facilities(&net, &inst, &raw);
+    let mut group = c.benchmark_group("facility_cleanup");
+    group.bench_function("dual_ascent_only", |b| {
+        b.iter(|| dual_ascent(&net, &inst, &cfg).expect("ascent"))
+    });
+    group.bench_function("improve_by_removal", |b| {
+        b.iter(|| improve_by_removal(&net, &inst, &pruned).expect("cleanup"))
+    });
+    group.finish();
+}
+
+/// SPAN-threshold sweep: how election strictness changes runtime.
+fn span_threshold(c: &mut Criterion) {
+    let net = paper_grid(6).expect("grid builds");
+    let inst = ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops)
+        .expect("instance builds");
+    let mut group = c.benchmark_group("span_threshold");
+    for thr in [1usize, 2, 4, 8] {
+        let cfg = ApproxConfig {
+            span_threshold: thr,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(thr), &cfg, |b, cfg| {
+            b.iter(|| dual_ascent(&net, &inst, cfg).expect("ascent"))
+        });
+    }
+    group.finish();
+}
+
+/// Battery-term ablation: the weighted-summation fairness costs a
+/// second per-node term but no extra path work.
+fn battery_term(c: &mut Criterion) {
+    let mut group = c.benchmark_group("battery_fairness");
+    for (label, weight) in [("off", 0.0f64), ("on", 4.0)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut net = paper_grid(6).expect("grid builds");
+                for n in net.clients().collect::<Vec<_>>() {
+                    if n.index() % 2 == 0 {
+                        net.set_battery(n, 0.4).expect("valid fraction");
+                    }
+                }
+                let cfg = ApproxConfig {
+                    weights: CostWeights {
+                        battery_fairness: weight,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                ApproxPlanner::new(cfg).plan(&mut net, 3).expect("plan")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, path_selection, cleanup_cost, span_threshold, battery_term);
+criterion_main!(benches);

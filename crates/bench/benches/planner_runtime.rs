@@ -1,0 +1,69 @@
+//! Criterion companion to Fig. 5: per-chunk planning time of every
+//! algorithm across grid sizes, plus an ablation on the dual-ascent
+//! bid step `U_α` (§IV-B: larger steps converge faster but may select
+//! fewer caching nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peercache_bench::harness::{all_planners, run_planner};
+use peercache_core::approx::{dual_ascent, ApproxConfig};
+use peercache_core::costs::CostWeights;
+use peercache_core::exact::BruteForcePlanner;
+use peercache_core::instance::ConflInstance;
+use peercache_core::workload::{ScenarioBuilder, Topology};
+use peercache_graph::paths::PathSelection;
+
+fn grid(side: usize) -> peercache_core::Network {
+    ScenarioBuilder::new(Topology::Grid {
+        rows: side,
+        cols: side,
+    })
+    .capacity(5)
+    .build()
+    .expect("grid scenario builds")
+}
+
+/// One chunk planned by each algorithm on growing grids (Fig. 5).
+fn planner_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_chunk_plan");
+    group.sample_size(10);
+    for side in [4usize, 6, 8] {
+        let net = grid(side);
+        for planner in all_planners() {
+            group.bench_with_input(
+                BenchmarkId::new(planner.name().to_string(), side * side),
+                &net,
+                |b, net| b.iter(|| run_planner(planner.as_ref(), net, 1)),
+            );
+        }
+    }
+    // Brute force only fits on the smallest grid.
+    let tiny = grid(4);
+    group.bench_with_input(BenchmarkId::new("Brtf", 16), &tiny, |b, net| {
+        b.iter(|| run_planner(&BruteForcePlanner::default(), net, 1))
+    });
+    group.finish();
+}
+
+/// Ablation: the `U_α` bid step trades rounds for selection quality.
+fn bid_step_ablation(c: &mut Criterion) {
+    let net = grid(6);
+    let inst = ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops)
+        .expect("instance builds");
+    let mut group = c.benchmark_group("dual_ascent_u_alpha");
+    for u_alpha in [0.5f64, 1.0, 2.0, 4.0] {
+        let cfg = ApproxConfig {
+            u_alpha,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(u_alpha),
+            &cfg,
+            |b, cfg| b.iter(|| dual_ascent(&net, &inst, cfg).expect("ascent converges")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planner_runtime, bid_step_ablation);
+criterion_main!(benches);

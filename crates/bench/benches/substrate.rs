@@ -1,0 +1,125 @@
+//! Microbenchmarks of the substrates the planners are built on:
+//! all-pairs node-weighted shortest paths, Steiner trees, the simplex
+//! solver, the distributed protocol round, and the fairness metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peercache_core::workload::paper_grid;
+use peercache_core::ChunkId;
+use peercache_dist::sim::{run_chunk_round, SimConfig};
+use peercache_dist::view::build_views;
+use peercache_graph::paths::{AllPairsPaths, PathSelection};
+use peercache_graph::{builders, steiner, NodeId};
+use peercache_lp::{solve_lp, Model, Relation, Sense};
+
+fn all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_pairs_paths");
+    for side in [6usize, 10, 16] {
+        let g = builders::grid(side, side);
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + g.degree(n) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
+            b.iter(|| {
+                AllPairsPaths::compute(g, &costs, PathSelection::FewestHops)
+                    .expect("paths compute")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn steiner_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_tree");
+    for (side, terminals) in [(8usize, 4usize), (8, 12), (16, 12)] {
+        let g = builders::grid(side, side);
+        let terms: Vec<NodeId> = (0..terminals)
+            .map(|i| NodeId::new(i * (side * side) / terminals))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{side}x{side}"), terminals),
+            &terms,
+            |b, terms| {
+                b.iter(|| {
+                    steiner::steiner_tree(&g, terms, |u, v| {
+                        (g.degree(u) + g.degree(v)) as f64
+                    })
+                    .expect("tree builds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn simplex(c: &mut Criterion) {
+    // A transportation-style LP that grows with n.
+    let build = |n: usize| {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<Vec<_>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        m.add_var(
+                            format!("x{i}_{j}"),
+                            0.0,
+                            f64::INFINITY,
+                            ((i * 7 + j * 13) % 11) as f64 + 1.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for row in &vars {
+            m.add_constraint(row.iter().map(|&v| (v, 1.0)).collect(), Relation::Eq, 1.0);
+        }
+        for j in 0..n {
+            m.add_constraint(
+                vars.iter().map(|row| (row[j], 1.0)).collect(),
+                Relation::Le,
+                1.0,
+            );
+        }
+        m
+    };
+    let mut group = c.benchmark_group("simplex_assignment");
+    for n in [4usize, 8, 12] {
+        let model = build(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &model, |b, m| {
+            b.iter(|| solve_lp(m).expect("lp solves"))
+        });
+    }
+    group.finish();
+}
+
+fn distributed_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_chunk_round");
+    group.sample_size(10);
+    for side in [6usize, 10] {
+        let net = paper_grid(side).expect("grid builds");
+        let (views, _) = build_views(&net, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &net,
+            |b, net| {
+                b.iter(|| run_chunk_round(net, &views, ChunkId::new(0), &SimConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn metrics(c: &mut Criterion) {
+    let loads: Vec<usize> = (0..10_000).map(|i| (i * 31) % 7).collect();
+    c.bench_function("gini_10k", |b| {
+        b.iter(|| peercache_core::metrics::gini(&loads))
+    });
+}
+
+criterion_group!(
+    benches,
+    all_pairs,
+    steiner_tree,
+    simplex,
+    distributed_round,
+    metrics
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release -p peercache-bench --bin repro -- all
+//! cargo run --release -p peercache-bench --bin repro -- fig2 fig6 fig7
+//! ```
+//!
+//! Tables are printed and written as CSV to `target/repro/`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use peercache_bench::figs;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: repro <all | fig1 .. fig9>...");
+        eprintln!("figures: {}", figs::ALL.join(" "));
+        return ExitCode::from(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        figs::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !figs::ALL.contains(id) {
+            eprintln!("unknown figure id: {id} (expected one of {})", figs::ALL.join(", "));
+            return ExitCode::from(2);
+        }
+    }
+    for id in ids {
+        let start = Instant::now();
+        for table in figs::run(id) {
+            table.emit();
+        }
+        eprintln!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

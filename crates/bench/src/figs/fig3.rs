@@ -1,0 +1,42 @@
+//! Fig. 3 — the distributed algorithm under different hop limits.
+//!
+//! k = 1 gives nodes too little information (few caches elected, high
+//! accessing cost); k >= 2 plateaus, which is why the paper — and our
+//! default — uses a 2-hop message scope.
+
+use peercache_core::metrics;
+use peercache_core::planner::CachePlanner;
+use peercache_core::workload::paper_grid;
+use peercache_dist::DistributedPlanner;
+
+use crate::harness::{f1, f3, Table};
+
+const CHUNKS: usize = 5;
+
+/// Runs the hop-limit sweep.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "fig3",
+        "distributed algorithm vs. hop limit (6x6 grid, 5 chunks)",
+        &["k", "contention", "gini", "messages", "fallbacks"],
+    );
+    for k in 1..=5u32 {
+        let mut net = paper_grid(6).expect("paper grid builds");
+        let planner = DistributedPlanner::with_k_hops(k);
+        let placement = planner.plan(&mut net, CHUNKS).expect("plan succeeds");
+        let report = planner.last_report();
+        let loads: Vec<usize> = net.clients().map(|n| net.used(n)).collect();
+        table.push_row(vec![
+            k.to_string(),
+            f1(placement.total_contention_cost()),
+            f3(metrics::gini(&loads)),
+            report.messages.total().to_string(),
+            report
+                .fallbacks_per_chunk
+                .iter()
+                .sum::<usize>()
+                .to_string(),
+        ]);
+    }
+    vec![table]
+}

@@ -1,0 +1,31 @@
+//! Fig. 4 — random networks of 20–180 nodes, averaged over 5 seeds.
+
+use peercache_core::workload::paper_random;
+
+use crate::harness::{all_planners, f1, run_planner, Table};
+
+const CHUNKS: usize = 5;
+const SEEDS: u64 = 5;
+
+/// Runs the random-network sweep.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "fig4",
+        "total contention cost on random networks (5 chunks, mean of 5 seeds)",
+        &["nodes", "Appx", "Dist", "Hopc", "Cont"],
+    );
+    for nodes in [20usize, 60, 100, 140, 180] {
+        let mut sums = [0.0; 4];
+        for seed in 0..SEEDS {
+            let net = paper_random(nodes, seed).expect("random scenario builds");
+            for (i, planner) in all_planners().iter().enumerate() {
+                let (p, _) = run_planner(planner.as_ref(), &net, CHUNKS);
+                sums[i] += p.total_contention_cost();
+            }
+        }
+        let mut row = vec![nodes.to_string()];
+        row.extend(sums.iter().map(|s| f1(s / SEEDS as f64)));
+        table.push_row(row);
+    }
+    vec![table]
+}

@@ -1,0 +1,49 @@
+//! Fig. 6 — how many nodes are needed to store a given share of the
+//! data (the p-percentile fairness curve).
+
+use peercache_core::metrics::{nodes_to_cover, p_percentile_fairness};
+use peercache_core::workload::paper_grid;
+
+use crate::harness::{all_planners, run_planner, Table};
+
+const CHUNKS: usize = 5;
+
+/// Runs the fairness-curve experiment.
+pub fn run() -> Vec<Table> {
+    let net = paper_grid(6).expect("paper grid builds");
+    let mut loads_per_algo = Vec::new();
+    for planner in all_planners() {
+        let (_, final_net) = run_planner(planner.as_ref(), &net, CHUNKS);
+        let loads: Vec<usize> = final_net
+            .clients()
+            .map(|n| final_net.used(n))
+            .collect();
+        loads_per_algo.push((planner.name().to_string(), loads));
+    }
+
+    let mut curve = Table::new(
+        "fig6",
+        "nodes needed to store p% of all cached data (6x6 grid, 5 chunks)",
+        &["p%", "Appx", "Dist", "Hopc", "Cont"],
+    );
+    for p in (10..=100).step_by(10) {
+        let mut row = vec![p.to_string()];
+        for (_, loads) in &loads_per_algo {
+            row.push(nodes_to_cover(loads, p as f64 / 100.0).to_string());
+        }
+        curve.push_row(row);
+    }
+
+    let mut summary = Table::new(
+        "fig6_summary",
+        "75-percentile fairness (fraction of nodes holding 75% of the data; ideal 75%)",
+        &["algorithm", "fairness"],
+    );
+    for (name, loads) in &loads_per_algo {
+        summary.push_row(vec![
+            name.clone(),
+            format!("{:.1}%", 100.0 * p_percentile_fairness(loads, 0.75)),
+        ]);
+    }
+    vec![curve, summary]
+}

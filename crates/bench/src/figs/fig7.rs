@@ -1,0 +1,57 @@
+//! Fig. 7 — Gini coefficient of caching load on grid (a) and random (b)
+//! networks of growing size.
+
+use peercache_core::metrics::gini;
+use peercache_core::workload::{paper_random, ScenarioBuilder, Topology};
+
+use crate::harness::{all_planners, f3, run_planner, Table};
+
+const CHUNKS: usize = 5;
+
+fn gini_of(planner: &dyn peercache_core::planner::CachePlanner, net: &peercache_core::Network) -> f64 {
+    let (_, final_net) = run_planner(planner, net, CHUNKS);
+    let loads: Vec<usize> = final_net.clients().map(|n| final_net.used(n)).collect();
+    gini(&loads)
+}
+
+/// Runs both panels.
+pub fn run() -> Vec<Table> {
+    let mut grid = Table::new(
+        "fig7a",
+        "gini coefficient on grids (5 chunks)",
+        &["nodes", "Appx", "Dist", "Hopc", "Cont"],
+    );
+    for side in [4usize, 5, 6, 7, 8] {
+        let net = ScenarioBuilder::new(Topology::Grid {
+            rows: side,
+            cols: side,
+        })
+        .capacity(5)
+        .build()
+        .expect("grid scenario builds");
+        let mut row = vec![(side * side).to_string()];
+        for planner in all_planners() {
+            row.push(f3(gini_of(planner.as_ref(), &net)));
+        }
+        grid.push_row(row);
+    }
+
+    let mut random = Table::new(
+        "fig7b",
+        "gini coefficient on random networks (5 chunks, mean of 3 seeds)",
+        &["nodes", "Appx", "Dist", "Hopc", "Cont"],
+    );
+    for nodes in [20usize, 60, 100, 140, 180] {
+        let mut sums = [0.0; 4];
+        for seed in 0..3u64 {
+            let net = paper_random(nodes, seed).expect("random scenario builds");
+            for (i, planner) in all_planners().iter().enumerate() {
+                sums[i] += gini_of(planner.as_ref(), &net);
+            }
+        }
+        let mut row = vec![nodes.to_string()];
+        row.extend(sums.iter().map(|s| f3(s / 3.0)));
+        random.push_row(row);
+    }
+    vec![grid, random]
+}

@@ -1,0 +1,44 @@
+//! Fig. 8 — accumulated contention cost as the number of distinct
+//! chunks grows from 1 to 10.
+//!
+//! Uses the paper's multi-item accounting: after all rounds, every
+//! chunk's recorded accesses and trees are priced on the final graph.
+//! The paper's panels are 4x4 and 8x8; we add 6x6 and keep 4x4 — note
+//! in EXPERIMENTS.md that on the tiny 4x4 the fair planner's copy count
+//! makes it lose its edge under this accounting.
+
+use peercache_core::workload::{ScenarioBuilder, Topology};
+
+use crate::harness::{all_planners, f1, run_final_costed, Table};
+
+/// Runs the chunk-count sweep on the paper's two grid sizes (+ 6x6).
+pub fn run() -> Vec<Table> {
+    let mut out = Vec::new();
+    for (panel, side) in [("fig8a", 4usize), ("fig8b", 8), ("fig8c", 6)] {
+        let net = ScenarioBuilder::new(Topology::Grid {
+            rows: side,
+            cols: side,
+        })
+        .capacity(5)
+        .build()
+        .expect("grid scenario builds");
+        let mut table = Table::new(
+            panel,
+            &format!(
+                "accumulated contention cost vs. distinct chunks \
+                 ({side}x{side} grid, final-state accounting)"
+            ),
+            &["chunks", "Appx", "Dist", "Hopc", "Cont"],
+        );
+        for q in 1..=10usize {
+            let mut row = vec![q.to_string()];
+            for planner in all_planners() {
+                let (p, _) = run_final_costed(planner.as_ref(), &net, q);
+                row.push(f1(p.total_contention_cost()));
+            }
+            table.push_row(row);
+        }
+        out.push(table);
+    }
+    out
+}

@@ -1,0 +1,41 @@
+//! One module per figure of the paper's evaluation (§V).
+//!
+//! Every `run()` returns the [`crate::harness::Table`]s that regenerate
+//! the figure's series; the `repro` binary emits them.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use crate::harness::Table;
+
+/// Figure ids in paper order.
+pub const ALL: [&str; 9] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+];
+
+/// Dispatches a figure by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the binary validates its arguments first).
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "fig1" => fig1::run(),
+        "fig2" => fig2::run(),
+        "fig3" => fig3::run(),
+        "fig4" => fig4::run(),
+        "fig5" => fig5::run(),
+        "fig6" => fig6::run(),
+        "fig7" => fig7::run(),
+        "fig8" => fig8::run(),
+        "fig9" => fig9::run(),
+        other => panic!("unknown figure id: {other}"),
+    }
+}

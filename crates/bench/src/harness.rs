@@ -1,0 +1,198 @@
+//! Shared plumbing: planner roster, table rendering, CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use peercache_core::approx::ApproxPlanner;
+use peercache_core::baselines::{BaselineConfig, GreedyBaselinePlanner};
+use peercache_core::costs::CostWeights;
+use peercache_core::placement::{recost_final, Placement};
+use peercache_core::planner::CachePlanner;
+use peercache_core::Network;
+use peercache_dist::DistributedPlanner;
+use peercache_graph::paths::PathSelection;
+
+/// The four algorithms every figure compares (Brtf joins where feasible).
+pub fn all_planners() -> Vec<Box<dyn CachePlanner>> {
+    vec![
+        Box::new(ApproxPlanner::default()),
+        Box::new(DistributedPlanner::default()),
+        Box::new(GreedyBaselinePlanner::hop_count(BaselineConfig::default())),
+        Box::new(GreedyBaselinePlanner::contention(BaselineConfig::default())),
+    ]
+}
+
+/// Runs a planner on a fresh copy of `net`; returns the placement and
+/// the final network state.
+pub fn run_planner(planner: &dyn CachePlanner, net: &Network, chunks: usize) -> (Placement, Network) {
+    let mut copy = net.clone();
+    let placement = planner
+        .plan(&mut copy, chunks)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", planner.name()));
+    (placement, copy)
+}
+
+/// Runs a planner and re-costs its placement on the final state — the
+/// multi-item accounting of §V used by Figs. 8 and 9.
+pub fn run_final_costed(
+    planner: &dyn CachePlanner,
+    net: &Network,
+    chunks: usize,
+) -> (Placement, Network) {
+    let (placement, final_net) = run_planner(planner, net, chunks);
+    let recosted = recost_final(
+        &final_net,
+        &placement,
+        CostWeights::default(),
+        PathSelection::FewestHops,
+    )
+    .expect("recosting a valid placement succeeds");
+    (recosted, final_net)
+}
+
+/// A printable/serializable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure id, e.g. `fig2a` (used as the CSV file name).
+    pub id: String,
+    /// Human-readable caption.
+    pub caption: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row values, already formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, caption: &str, header: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (values pre-formatted).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.caption);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as CSV into [`out_dir`]; returns the path.
+    pub fn write_csv(&self) -> PathBuf {
+        let dir = out_dir();
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut csv = self.header.join(",");
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        fs::write(&path, csv).expect("writing CSV output");
+        path
+    }
+
+    /// Prints the table and persists the CSV.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let path = self.write_csv();
+        println!("   (csv: {})\n", path.display());
+    }
+}
+
+/// Output directory for CSV artifacts (`target/repro`), created on
+/// first use.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/repro");
+    fs::create_dir_all(&dir).expect("creating target/repro");
+    dir
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peercache_core::workload::paper_grid;
+
+    #[test]
+    fn roster_has_the_four_comparison_algorithms() {
+        let names: Vec<String> = all_planners()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["Appx", "Dist", "Hopc", "Cont"]);
+    }
+
+    #[test]
+    fn run_does_not_mutate_the_template_network() {
+        let net = paper_grid(3).unwrap();
+        let planners = all_planners();
+        let (placement, final_net) = run_planner(planners[0].as_ref(), &net, 2);
+        assert_eq!(placement.chunks().len(), 2);
+        assert_eq!(net.load_vector().iter().sum::<usize>(), 0);
+        assert!(final_net.load_vector().iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn table_renders_and_writes_csv() {
+        let mut t = Table::new("test_table", "caption", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("caption"));
+        assert!(rendered.contains('1'));
+        let path = t.write_csv();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn final_costed_changes_only_costs() {
+        let net = paper_grid(3).unwrap();
+        let planners = all_planners();
+        let (placed, netf) = run_planner(planners[0].as_ref(), &net, 2);
+        let (recosted, _) = run_final_costed(planners[0].as_ref(), &net, 2);
+        let _ = netf;
+        assert_eq!(placed.chunks().len(), recosted.chunks().len());
+        for (a, b) in placed.chunks().iter().zip(recosted.chunks()) {
+            assert_eq!(a.caches, b.caches);
+            assert_eq!(a.assignment, b.assignment);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness regenerating every figure of the ICDCS'17
+//! evaluation (§V).
+//!
+//! The `repro` binary drives one module per figure:
+//!
+//! ```text
+//! cargo run --release -p peercache-bench --bin repro -- all
+//! cargo run --release -p peercache-bench --bin repro -- fig2 fig6
+//! ```
+//!
+//! Each figure prints the paper's series as a table and writes CSV to
+//! `target/repro/`. Absolute values differ from the paper (different
+//! Steiner subroutine, calibrated baseline λ, Rust vs Python 2.7); the
+//! *shapes* — orderings, ratios, crossovers — are the reproduction
+//! target and are recorded against the paper in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+pub mod harness;

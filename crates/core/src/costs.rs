@@ -1,0 +1,231 @@
+//! The paper's cost model: Fairness Degree Cost (Eq. 1) and Contention
+//! Cost (Eq. 2).
+//!
+//! *Fairness Degree Cost* lives on [`crate::Network::fairness_cost`]
+//! (it is a property of a node's storage state). This module owns the
+//! *contention* side:
+//!
+//! * the **Node Contention Cost** `w_k` — the node's degree, since every
+//!   neighbor pushes requests and chunk transfers through `k`;
+//! * the per-node path term `w_k (1 + S(k))` — already-cached chunks
+//!   inflate contention because each cached chunk is also transmitted to
+//!   neighbors;
+//! * the **Path Contention Cost** `c_ij = Σ_{k ∈ PATH(i,j)} w_k (1 + S(k))`
+//!   along the shortest path, with `c_ii = 0` (serving yourself needs no
+//!   transmission);
+//! * the **edge cost** `c_e = c_ij` for adjacent `i`, `j`, used by the
+//!   dissemination (Steiner) phase.
+
+use peercache_graph::paths::{AllPairsPaths, PathSelection};
+use peercache_graph::NodeId;
+
+use crate::{CoreError, Network};
+
+/// Relative weights of the three objective terms of ILP (3).
+///
+/// The paper weighs fairness and contention equally and scales the
+/// dissemination term by `M` (formulation (8)); all default to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the storage Fairness Degree Cost term.
+    pub fairness: f64,
+    /// Weight of the battery Fairness Degree Cost term (footnote 1 of
+    /// §III-B; 0 by default, i.e. storage-only fairness as in the
+    /// paper's evaluation).
+    pub battery_fairness: f64,
+    /// Weight of the accessing-phase Contention Cost term.
+    pub contention: f64,
+    /// `M`, the scale of the dissemination (Steiner tree) term.
+    pub dissemination: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            fairness: 1.0,
+            battery_fairness: 0.0,
+            contention: 1.0,
+            dissemination: 1.0,
+        }
+    }
+}
+
+/// Per-node contention terms `w_k (1 + S(k))` for the current caching
+/// state, indexed by node id.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::{costs, ChunkId, Network};
+/// use peercache_graph::{builders, NodeId};
+///
+/// let mut net = Network::new(builders::grid(3, 3), NodeId::new(4), 5)?;
+/// let before = costs::node_contention_terms(&net);
+/// assert_eq!(before[0], 2.0); // corner: degree 2, nothing cached
+///
+/// net.cache(NodeId::new(0), ChunkId::new(0))?;
+/// let after = costs::node_contention_terms(&net);
+/// assert_eq!(after[0], 4.0); // degree 2 * (1 + 1 cached chunk)
+/// # Ok::<(), peercache_core::CoreError>(())
+/// ```
+pub fn node_contention_terms(net: &Network) -> Vec<f64> {
+    let producer_load = net.distinct_cached_chunks();
+    net.graph()
+        .nodes()
+        .map(|k| {
+            let w = net.graph().degree(k) as f64;
+            // The producer originates every published chunk and keeps
+            // serving all of them, so it carries the full chunk
+            // population in its term even though it caches nothing.
+            let load = if k == net.producer() {
+                producer_load
+            } else {
+                net.used(k)
+            };
+            w * (1.0 + load as f64)
+        })
+        .collect()
+}
+
+/// All-pairs Path Contention Costs for a caching state, plus the hop
+/// distances the Hop-Count baseline needs.
+///
+/// A `ContentionMatrix` is a *snapshot*: it must be recomputed after the
+/// caching state changes (each planner does so once per chunk).
+#[derive(Debug, Clone)]
+pub struct ContentionMatrix {
+    terms: Vec<f64>,
+    paths: AllPairsPaths,
+}
+
+impl ContentionMatrix {
+    /// Computes the matrix for the network's current caching state.
+    ///
+    /// `selection` controls whether packets follow the hop-shortest path
+    /// (the paper's model) or the contention-cheapest path (ablation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Graph`] on internal failures (cannot
+    /// happen for a well-formed [`Network`]).
+    pub fn compute(net: &Network, selection: PathSelection) -> Result<Self, CoreError> {
+        let terms = node_contention_terms(net);
+        let paths = AllPairsPaths::compute(net.graph(), &terms, selection)?;
+        Ok(ContentionMatrix { terms, paths })
+    }
+
+    /// The Path Contention Cost `c_ij` (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn cost(&self, i: NodeId, j: NodeId) -> f64 {
+        self.paths.cost(i, j)
+    }
+
+    /// Hop count of the routed path (the Hop-Count baseline's metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn hops(&self, i: NodeId, j: NodeId) -> Option<u32> {
+        self.paths.hops(i, j)
+    }
+
+    /// The routed path between two nodes, endpoints included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn path(&self, i: NodeId, j: NodeId) -> Option<Vec<NodeId>> {
+        self.paths.path(i, j)
+    }
+
+    /// The contention term `w_k (1 + S(k))` of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds.
+    pub fn node_term(&self, k: NodeId) -> f64 {
+        self.terms[k.index()]
+    }
+
+    /// Edge cost `c_e` for an adjacent pair: the one-hop path cost,
+    /// i.e. the two endpoint terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn edge_cost(&self, u: NodeId, v: NodeId) -> f64 {
+        self.terms[u.index()] + self.terms[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChunkId;
+    use peercache_graph::builders;
+
+    fn net() -> Network {
+        Network::new(builders::grid(3, 3), NodeId::new(4), 5).unwrap()
+    }
+
+    #[test]
+    fn node_terms_use_degree() {
+        let net = net();
+        let terms = node_contention_terms(&net);
+        assert_eq!(terms[0], 2.0); // corner
+        assert_eq!(terms[1], 3.0); // edge
+        assert_eq!(terms[4], 4.0); // center
+    }
+
+    #[test]
+    fn cached_chunks_inflate_terms() {
+        let mut net = net();
+        net.cache(NodeId::new(1), ChunkId::new(0)).unwrap();
+        net.cache(NodeId::new(1), ChunkId::new(1)).unwrap();
+        let terms = node_contention_terms(&net);
+        assert_eq!(terms[1], 3.0 * 3.0); // degree 3 * (1 + 2)
+    }
+
+    #[test]
+    fn diagonal_cost_is_zero() {
+        let net = net();
+        let m = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        for n in net.graph().nodes() {
+            assert_eq!(m.cost(n, n), 0.0);
+        }
+    }
+
+    #[test]
+    fn adjacent_cost_sums_both_endpoints() {
+        let net = net();
+        let m = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        // corner 0 (w=2) and edge 1 (w=3), nothing cached.
+        assert_eq!(m.cost(NodeId::new(0), NodeId::new(1)), 5.0);
+        assert_eq!(m.edge_cost(NodeId::new(0), NodeId::new(1)), 5.0);
+    }
+
+    #[test]
+    fn matrix_reflects_state_changes_after_recompute() {
+        let mut net = net();
+        let before = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        net.cache(NodeId::new(1), ChunkId::new(0)).unwrap();
+        let after = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        assert!(after.cost(NodeId::new(0), NodeId::new(1)) > before.cost(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn hops_are_available_for_the_hopc_baseline() {
+        let net = net();
+        let m = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        assert_eq!(m.hops(NodeId::new(0), NodeId::new(8)), Some(4));
+    }
+
+    #[test]
+    fn default_weights_are_all_one() {
+        let w = CostWeights::default();
+        assert_eq!((w.fairness, w.contention, w.dissemination), (1.0, 1.0, 1.0));
+    }
+}

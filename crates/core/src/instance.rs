@@ -1,0 +1,368 @@
+//! The per-chunk Connected Facility Location instance.
+//!
+//! §III-D shows the caching ILP (3) is a *sum of ConFL problems*, one
+//! per chunk (formulation (8)). A [`ConflInstance`] is the snapshot of
+//! one summand: facility opening costs are the Fairness Degree Costs
+//! `f_i`, client connection costs are Path Contention Costs `c_ij`,
+//! Steiner edges cost `M · c_e`, and the producer acts as a pre-opened,
+//! zero-cost facility that the dissemination tree must reach.
+
+use peercache_graph::paths::PathSelection;
+use peercache_graph::{steiner, NodeId};
+
+use crate::costs::{ContentionMatrix, CostWeights};
+use crate::{ChunkId, CoreError, Network};
+
+/// Cost breakdown of evaluating one facility set for one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SetCosts {
+    /// Σ fairness cost of the opened facilities.
+    pub fairness: f64,
+    /// Σ over clients of the connection cost to the nearest provider.
+    pub access: f64,
+    /// `M ·` Steiner tree cost over facilities ∪ {producer}.
+    pub dissemination: f64,
+}
+
+impl SetCosts {
+    /// Weighted total of the three terms (the ConFL objective value).
+    pub fn total(&self) -> f64 {
+        self.fairness + self.access + self.dissemination
+    }
+}
+
+/// Outcome of [`ConflInstance::evaluate_set`]: the cost breakdown, the
+/// `(client, provider)` assignment, and the dissemination-tree edges.
+pub type SetEvaluation = (SetCosts, Vec<(NodeId, NodeId)>, Vec<(NodeId, NodeId)>);
+
+/// One chunk's ConFL instance, frozen at the current caching state.
+#[derive(Debug, Clone)]
+pub struct ConflInstance {
+    producer: NodeId,
+    facility_cost: Vec<f64>,
+    matrix: ContentionMatrix,
+    weights: CostWeights,
+    clients: Vec<NodeId>,
+}
+
+impl ConflInstance {
+    /// Builds the instance for the network's current state.
+    ///
+    /// Facility cost is `weights.fairness · f_i`; nodes with exhausted
+    /// storage (and the producer) get `f64::INFINITY` and are not
+    /// [`candidates`](ConflInstance::candidates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Graph`] from the path computation.
+    pub fn build(
+        net: &Network,
+        weights: CostWeights,
+        selection: PathSelection,
+    ) -> Result<Self, CoreError> {
+        ConflInstance::build_with_clients(net, weights, selection, net.clients().collect())
+    }
+
+    /// Builds the instance for one specific chunk, honoring its
+    /// interest restriction ([`Network::set_interest`]): only the
+    /// chunk's audience appears as ConFL clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Graph`] from the path computation.
+    pub fn build_for_chunk(
+        net: &Network,
+        chunk: ChunkId,
+        weights: CostWeights,
+        selection: PathSelection,
+    ) -> Result<Self, CoreError> {
+        ConflInstance::build_with_clients(net, weights, selection, net.interested_clients(chunk))
+    }
+
+    fn build_with_clients(
+        net: &Network,
+        weights: CostWeights,
+        selection: PathSelection,
+        clients: Vec<NodeId>,
+    ) -> Result<Self, CoreError> {
+        let matrix = ContentionMatrix::compute(net, selection)?;
+        let facility_cost = net
+            .graph()
+            .nodes()
+            .map(|i| {
+                // Weighted summation of the storage and battery
+                // fairness terms (footnote 1 of §III-B). With the
+                // default battery weight of 0 this is exactly Eq. 1.
+                let storage = weights.fairness * net.fairness_cost(i);
+                if weights.battery_fairness > 0.0 {
+                    storage + weights.battery_fairness * net.battery_fairness_cost(i)
+                } else {
+                    storage
+                }
+            })
+            .collect();
+        Ok(ConflInstance {
+            producer: net.producer(),
+            facility_cost,
+            matrix,
+            weights,
+            clients,
+        })
+    }
+
+    /// The ConFL clients of this instance (the chunk's audience),
+    /// sorted.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// The producer (pre-opened root facility).
+    pub fn producer(&self) -> NodeId {
+        self.producer
+    }
+
+    /// The cost weights the instance was built with.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// The contention snapshot backing this instance.
+    pub fn matrix(&self) -> &ContentionMatrix {
+        &self.matrix
+    }
+
+    /// Facility opening cost `f_i` (already fairness-weighted);
+    /// `f64::INFINITY` for full nodes and the producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn facility_cost(&self, i: NodeId) -> f64 {
+        self.facility_cost[i.index()]
+    }
+
+    /// Connection cost of client `j` to facility `i` (contention
+    /// weighted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of bounds.
+    pub fn connection_cost(&self, i: NodeId, j: NodeId) -> f64 {
+        self.weights.contention * self.matrix.cost(i, j)
+    }
+
+    /// Nodes that may open as facilities (finite cost), sorted by id.
+    pub fn candidates(&self) -> Vec<NodeId> {
+        (0..self.facility_cost.len())
+            .map(NodeId::new)
+            .filter(|&i| self.facility_cost[i.index()].is_finite())
+            .collect()
+    }
+
+    /// Number of nodes in the instance.
+    pub fn node_count(&self) -> usize {
+        self.facility_cost.len()
+    }
+
+    /// Assigns each client to its cheapest provider among
+    /// `facilities ∪ {producer}`; returns `(client, provider)` pairs in
+    /// client order plus the summed access cost.
+    ///
+    /// A facility node serves itself at zero cost.
+    pub fn assign_clients(&self, _net: &Network, facilities: &[NodeId]) -> (Vec<(NodeId, NodeId)>, f64) {
+        let mut assignment = Vec::new();
+        let mut access = 0.0;
+        for &j in &self.clients {
+            let mut best = (self.producer, self.connection_cost(self.producer, j));
+            for &i in facilities {
+                let c = self.connection_cost(i, j);
+                if c < best.1 || (c == best.1 && i < best.0) {
+                    best = (i, c);
+                }
+            }
+            access += best.1;
+            assignment.push((j, best.0));
+        }
+        (assignment, access)
+    }
+
+    /// Evaluates opening exactly `facilities` for this chunk: fairness +
+    /// access + `M ·` Steiner(facilities ∪ {producer}).
+    ///
+    /// Returns the breakdown and the dissemination tree edges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Steiner-tree failures (cannot occur on a connected
+    /// [`Network`] with valid facilities).
+    pub fn evaluate_set(
+        &self,
+        net: &Network,
+        facilities: &[NodeId],
+    ) -> Result<SetEvaluation, CoreError> {
+        let fairness: f64 = facilities.iter().map(|&i| self.facility_cost(i)).sum();
+        let (assignment, access) = self.assign_clients(net, facilities);
+        let mut terminals: Vec<NodeId> = facilities.to_vec();
+        terminals.push(self.producer);
+        let tree = steiner::steiner_tree(net.graph(), &terminals, |u, v| {
+            self.matrix.edge_cost(u, v)
+        })?;
+        let costs = SetCosts {
+            fairness,
+            access,
+            dissemination: self.weights.dissemination * tree.cost,
+        };
+        Ok((costs, assignment, tree.edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChunkId;
+    use peercache_graph::builders;
+
+    fn net() -> Network {
+        Network::new(builders::grid(3, 3), NodeId::new(4), 2).unwrap()
+    }
+
+    fn instance(net: &Network) -> ConflInstance {
+        ConflInstance::build(net, CostWeights::default(), PathSelection::FewestHops).unwrap()
+    }
+
+    #[test]
+    fn producer_is_not_a_candidate() {
+        let net = net();
+        let inst = instance(&net);
+        assert!(!inst.candidates().contains(&NodeId::new(4)));
+        assert!(inst.facility_cost(NodeId::new(4)).is_infinite());
+        assert_eq!(inst.candidates().len(), 8);
+    }
+
+    #[test]
+    fn full_nodes_drop_out_of_candidates() {
+        let mut net = net();
+        net.cache(NodeId::new(0), ChunkId::new(0)).unwrap();
+        net.cache(NodeId::new(0), ChunkId::new(1)).unwrap();
+        let inst = instance(&net);
+        assert!(!inst.candidates().contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn empty_facility_set_assigns_everyone_to_producer() {
+        let net = net();
+        let inst = instance(&net);
+        let (assignment, access) = inst.assign_clients(&net, &[]);
+        assert_eq!(assignment.len(), 8);
+        assert!(assignment.iter().all(|&(_, p)| p == NodeId::new(4)));
+        assert!(access > 0.0);
+    }
+
+    #[test]
+    fn facility_serves_itself_for_free() {
+        let net = net();
+        let inst = instance(&net);
+        let (assignment, _) = inst.assign_clients(&net, &[NodeId::new(0)]);
+        let self_assigned = assignment
+            .iter()
+            .find(|&&(j, _)| j == NodeId::new(0))
+            .unwrap();
+        assert_eq!(self_assigned.1, NodeId::new(0));
+    }
+
+    #[test]
+    fn evaluate_empty_set_has_zero_tree_and_fairness() {
+        let net = net();
+        let inst = instance(&net);
+        let (costs, _, tree) = inst.evaluate_set(&net, &[]).unwrap();
+        assert_eq!(costs.fairness, 0.0);
+        assert_eq!(costs.dissemination, 0.0);
+        assert!(tree.is_empty());
+        assert!(costs.access > 0.0);
+    }
+
+    #[test]
+    fn more_facilities_reduce_access_cost() {
+        let net = net();
+        let inst = instance(&net);
+        let (none, _, _) = inst.evaluate_set(&net, &[]).unwrap();
+        let corners = [NodeId::new(0), NodeId::new(2), NodeId::new(6), NodeId::new(8)];
+        let (four, _, _) = inst.evaluate_set(&net, &corners).unwrap();
+        assert!(four.access < none.access);
+        assert!(four.dissemination > 0.0);
+    }
+
+    #[test]
+    fn dissemination_scales_with_m() {
+        let net = net();
+        let weights = CostWeights {
+            dissemination: 3.0,
+            ..Default::default()
+        };
+        let base = instance(&net);
+        let scaled =
+            ConflInstance::build(&net, weights, PathSelection::FewestHops).unwrap();
+        let set = [NodeId::new(0)];
+        let (c1, _, _) = base.evaluate_set(&net, &set).unwrap();
+        let (c3, _, _) = scaled.evaluate_set(&net, &set).unwrap();
+        assert!((c3.dissemination - 3.0 * c1.dissemination).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_weight_scales_facility_cost() {
+        let mut net = net();
+        net.cache(NodeId::new(0), ChunkId::new(0)).unwrap();
+        let weights = CostWeights {
+            fairness: 2.0,
+            ..Default::default()
+        };
+        let inst = ConflInstance::build(&net, weights, PathSelection::FewestHops).unwrap();
+        // f_0 = 1/(2-1) = 1, weighted by 2.
+        assert_eq!(inst.facility_cost(NodeId::new(0)), 2.0);
+    }
+
+    #[test]
+    fn battery_weight_penalizes_drained_nodes() {
+        let mut net = net();
+        net.set_battery(NodeId::new(0), 0.25).unwrap(); // f_batt = 3
+        let weights = CostWeights {
+            battery_fairness: 2.0,
+            ..Default::default()
+        };
+        let inst = ConflInstance::build(&net, weights, PathSelection::FewestHops).unwrap();
+        // storage term 0 + 2 * 3 = 6.
+        assert_eq!(inst.facility_cost(NodeId::new(0)), 6.0);
+        // Full-battery peers are unaffected.
+        assert_eq!(inst.facility_cost(NodeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn zero_battery_weight_ignores_battery_state() {
+        let mut net = net();
+        net.set_battery(NodeId::new(0), 0.1).unwrap();
+        let inst = instance(&net);
+        assert_eq!(inst.facility_cost(NodeId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn empty_battery_removes_candidate_under_battery_weight() {
+        let mut net = net();
+        net.set_battery(NodeId::new(0), 0.0).unwrap();
+        let weights = CostWeights {
+            battery_fairness: 1.0,
+            ..Default::default()
+        };
+        let inst = ConflInstance::build(&net, weights, PathSelection::FewestHops).unwrap();
+        assert!(!inst.candidates().contains(&NodeId::new(0)));
+    }
+
+    #[test]
+    fn set_costs_total_sums_terms() {
+        let c = SetCosts {
+            fairness: 1.0,
+            access: 2.0,
+            dissemination: 3.0,
+        };
+        assert_eq!(c.total(), 6.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fairness and distribution metrics of the evaluation (§V-B).
+//!
+//! * [`gini`] — the Gini coefficient of per-node caching load (Fig. 7);
+//! * [`p_percentile_fairness`] — the fraction of nodes needed to hold
+//!   `p`% of all cached data (Fig. 6; ideal is `p`% itself);
+//! * [`nodes_to_cover`] — the raw node count behind that fraction;
+//! * [`distribution_diff`] — per-node difference in stored chunks
+//!   against a reference placement (the circles of Fig. 1).
+
+/// Gini coefficient of the load vector: `Σ_i Σ_j |t_i - t_j| / (2 N Σ t)`.
+///
+/// 0 means perfectly even caching load, values toward 1 mean a few
+/// nodes carry everything. An all-zero load (nothing cached) is defined
+/// as perfectly fair (0). Pass *client* loads — the producer stores
+/// nothing by design and would bias the statistic.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::metrics::gini;
+///
+/// assert_eq!(gini(&[2, 2, 2, 2]), 0.0);
+/// assert!(gini(&[8, 0, 0, 0]) > 0.7);
+/// ```
+pub fn gini(loads: &[usize]) -> f64 {
+    let n = loads.len();
+    let total: usize = loads.iter().sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    // O(n log n) closed form over the sorted vector.
+    let mut sorted: Vec<usize> = loads.to_vec();
+    sorted.sort_unstable();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(rank, &t)| (2.0 * (rank as f64 + 1.0) - n as f64 - 1.0) * t as f64)
+        .sum();
+    weighted / (n as f64 * total as f64)
+}
+
+/// Number of nodes (heaviest first) needed to hold at least
+/// `ratio` (0..=1) of all cached copies.
+///
+/// Returns 0 when nothing is cached.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not within `0.0..=1.0`.
+pub fn nodes_to_cover(loads: &[usize], ratio: f64) -> usize {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+    let total: usize = loads.iter().sum();
+    if total == 0 || ratio == 0.0 {
+        return 0;
+    }
+    let target = ratio * total as f64;
+    let mut sorted: Vec<usize> = loads.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut acc = 0usize;
+    for (count, &t) in sorted.iter().enumerate() {
+        acc += t;
+        if acc as f64 >= target - 1e-9 {
+            return count + 1;
+        }
+    }
+    sorted.len()
+}
+
+/// `p`-percentile fairness: the *fraction* of nodes needed to cache
+/// `p`% of the total data (Fig. 6). Ideal (uniform load) is `p`%; the
+/// smaller the value, the more concentrated — thus less fair — the
+/// placement.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `0.0..=1.0`.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::metrics::p_percentile_fairness;
+///
+/// // Uniform load: 75% of the data sits on 75% of the nodes.
+/// assert_eq!(p_percentile_fairness(&[1, 1, 1, 1], 0.75), 0.75);
+/// // Concentrated: one node of four holds everything.
+/// assert_eq!(p_percentile_fairness(&[4, 0, 0, 0], 0.75), 0.25);
+/// ```
+pub fn p_percentile_fairness(loads: &[usize], p: f64) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    nodes_to_cover(loads, p) as f64 / loads.len() as f64
+}
+
+/// Per-node difference `a_i - b_i` in stored chunk counts (Fig. 1's
+/// circles, with `b` the optimal placement).
+///
+/// # Panics
+///
+/// Panics if the two vectors differ in length.
+pub fn distribution_diff(a: &[usize], b: &[usize]) -> Vec<i64> {
+    assert_eq!(a.len(), b.len(), "load vectors must cover the same nodes");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| x as i64 - y as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_uniform_is_zero() {
+        assert_eq!(gini(&[3, 3, 3]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_total_concentration_approaches_one() {
+        // (n-1)/n for a single loaded node.
+        let g = gini(&[10, 0, 0, 0, 0]);
+        assert!((g - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1, 2, 3, 4]);
+        let b = gini(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_within_unit_interval() {
+        for loads in [&[5, 1, 0][..], &[7, 7, 1, 2], &[1]] {
+            let g = gini(loads);
+            assert!((0.0..=1.0).contains(&g), "gini {g} out of range");
+        }
+    }
+
+    #[test]
+    fn gini_matches_pairwise_definition() {
+        // Cross-check the sorted closed form against the paper's double
+        // sum on a small example.
+        let loads = [3usize, 1, 4, 1, 5];
+        let n = loads.len() as f64;
+        let total: usize = loads.iter().sum();
+        let double_sum: f64 = loads
+            .iter()
+            .flat_map(|&a| loads.iter().map(move |&b| (a as f64 - b as f64).abs()))
+            .sum();
+        let reference = double_sum / (2.0 * n * total as f64);
+        assert!((gini(&loads) - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodes_to_cover_counts_heaviest_first() {
+        let loads = [5, 1, 1, 1];
+        assert_eq!(nodes_to_cover(&loads, 0.5), 1);
+        assert_eq!(nodes_to_cover(&loads, 0.75), 2);
+        assert_eq!(nodes_to_cover(&loads, 1.0), 4);
+        assert_eq!(nodes_to_cover(&loads, 0.0), 0);
+        assert_eq!(nodes_to_cover(&[0, 0], 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in [0, 1]")]
+    fn nodes_to_cover_panics_on_bad_ratio() {
+        nodes_to_cover(&[1], 1.5);
+    }
+
+    #[test]
+    fn percentile_fairness_examples_from_the_paper_shape() {
+        // Uniform: ideal.
+        assert_eq!(p_percentile_fairness(&[1; 35], 0.75), 27.0 / 35.0);
+        // One hot node: minimal.
+        let mut hot = vec![0usize; 35];
+        hot[0] = 25;
+        assert_eq!(p_percentile_fairness(&hot, 0.75), 1.0 / 35.0);
+        assert_eq!(p_percentile_fairness(&[], 0.75), 0.0);
+    }
+
+    #[test]
+    fn distribution_diff_signs() {
+        assert_eq!(distribution_diff(&[3, 0, 2], &[1, 1, 2]), vec![2, -1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "load vectors must cover the same nodes")]
+    fn distribution_diff_length_mismatch_panics() {
+        distribution_diff(&[1], &[1, 2]);
+    }
+}

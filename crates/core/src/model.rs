@@ -1,0 +1,632 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use peercache_graph::{components, Graph, NodeId};
+
+use crate::CoreError;
+
+/// Identifier of a data chunk.
+///
+/// The paper divides the shared data into `Q` equal-size chunks; chunk
+/// ids are dense indices `0..Q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChunkId(usize);
+
+impl ChunkId {
+    /// Creates a chunk id from a raw index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        ChunkId(index)
+    }
+
+    /// Raw index of the chunk.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ChunkId {
+    fn from(index: usize) -> Self {
+        ChunkId(index)
+    }
+}
+
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The system model of §III-A: a connected wireless topology plus the
+/// caching state of every node.
+///
+/// One designated **producer** originates all chunks; it never caches
+/// (its storage is not part of the cost model). Every other node is both
+/// a potential caching **facility** and a **client** that wants every
+/// chunk. A node stores at most one copy of a given chunk and at most
+/// `capacity` chunks in total.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::{ChunkId, Network};
+/// use peercache_graph::{builders, NodeId};
+///
+/// let mut net = Network::new(builders::grid(3, 3), NodeId::new(4), 2)?;
+/// net.cache(NodeId::new(0), ChunkId::new(0))?;
+/// assert_eq!(net.used(NodeId::new(0)), 1);
+/// assert!(net.is_cached(NodeId::new(0), ChunkId::new(0)));
+/// // Fairness Degree Cost: 1 used / (2 - 1) remaining = 1.0
+/// assert_eq!(net.fairness_cost(NodeId::new(0)), 1.0);
+/// # Ok::<(), peercache_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    graph: Graph,
+    producer: NodeId,
+    capacity: Vec<usize>,
+    cached: Vec<BTreeSet<ChunkId>>,
+    /// Remaining battery fraction per node in `[0, 1]` (1 = full).
+    battery: Vec<f64>,
+    /// Per-chunk interest sets; chunks without an entry are wanted by
+    /// every client (the paper's default assumption).
+    interest: BTreeMap<ChunkId, BTreeSet<NodeId>>,
+}
+
+impl Network {
+    /// Creates a network with the same caching capacity on every node.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Graph`] if `producer` is not a node of `graph`.
+    /// * [`CoreError::DisconnectedNetwork`] if `graph` is disconnected.
+    pub fn new(graph: Graph, producer: NodeId, capacity: usize) -> Result<Self, CoreError> {
+        let capacities = vec![capacity; graph.node_count()];
+        Network::with_capacities(graph, producer, capacities)
+    }
+
+    /// Creates a network with per-node caching capacities.
+    ///
+    /// The producer's capacity entry is ignored (it never caches).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Graph`] if `producer` is out of bounds or
+    ///   `capacities` is shorter than the node count.
+    /// * [`CoreError::DisconnectedNetwork`] if `graph` is disconnected.
+    pub fn with_capacities(
+        graph: Graph,
+        producer: NodeId,
+        capacities: Vec<usize>,
+    ) -> Result<Self, CoreError> {
+        if !graph.contains_node(producer) {
+            return Err(CoreError::Graph(peercache_graph::GraphError::NodeOutOfBounds {
+                node: producer,
+                node_count: graph.node_count(),
+            }));
+        }
+        if capacities.len() != graph.node_count() {
+            return Err(CoreError::Graph(peercache_graph::GraphError::NodeOutOfBounds {
+                node: NodeId::new(capacities.len()),
+                node_count: graph.node_count(),
+            }));
+        }
+        if !components::is_connected(&graph) {
+            return Err(CoreError::DisconnectedNetwork);
+        }
+        let n = graph.node_count();
+        Ok(Network {
+            graph,
+            producer,
+            capacity: capacities,
+            cached: vec![BTreeSet::new(); n],
+            battery: vec![1.0; n],
+            interest: BTreeMap::new(),
+        })
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The producer node.
+    pub fn producer(&self) -> NodeId {
+        self.producer
+    }
+
+    /// Number of nodes, producer included.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Iterates over the client nodes (everything but the producer).
+    pub fn clients(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let producer = self.producer;
+        self.graph.nodes().filter(move |&n| n != producer)
+    }
+
+    /// Total caching capacity of `node` in chunks (`S_tot(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn capacity(&self, node: NodeId) -> usize {
+        self.capacity[node.index()]
+    }
+
+    /// Chunks currently cached on `node` (`S(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn used(&self, node: NodeId) -> usize {
+        self.cached[node.index()].len()
+    }
+
+    /// Free chunk slots remaining on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn remaining(&self, node: NodeId) -> usize {
+        self.capacity(node).saturating_sub(self.used(node))
+    }
+
+    /// The set of chunks cached on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn cached_chunks(&self, node: NodeId) -> &BTreeSet<ChunkId> {
+        &self.cached[node.index()]
+    }
+
+    /// Returns `true` if `node` holds a copy of `chunk` in its cache.
+    ///
+    /// The producer is *not* reported here even though it can always
+    /// serve every chunk; use [`Network::can_serve`] for serving checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn is_cached(&self, node: NodeId, chunk: ChunkId) -> bool {
+        self.cached[node.index()].contains(&chunk)
+    }
+
+    /// Returns `true` if `node` can serve `chunk` — it either caches it
+    /// or is the producer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn can_serve(&self, node: NodeId, chunk: ChunkId) -> bool {
+        node == self.producer || self.is_cached(node, chunk)
+    }
+
+    /// Nodes caching `chunk`, sorted (producer excluded).
+    pub fn holders(&self, chunk: ChunkId) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|&n| self.is_cached(n, chunk))
+            .collect()
+    }
+
+    /// Caches `chunk` on `node`, consuming one storage slot.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ProducerCannotCache`] for the producer.
+    /// * [`CoreError::StorageFull`] when the node is at capacity.
+    /// * [`CoreError::AlreadyCached`] for duplicate copies.
+    pub fn cache(&mut self, node: NodeId, chunk: ChunkId) -> Result<(), CoreError> {
+        if node == self.producer {
+            return Err(CoreError::ProducerCannotCache {
+                producer: self.producer,
+            });
+        }
+        if self.used(node) >= self.capacity(node) {
+            return Err(CoreError::StorageFull {
+                node,
+                capacity: self.capacity(node),
+            });
+        }
+        if !self.cached[node.index()].insert(chunk) {
+            return Err(CoreError::AlreadyCached { node, chunk });
+        }
+        Ok(())
+    }
+
+    /// Evicts `chunk` from `node`; returns whether a copy was present.
+    ///
+    /// Cache replacement is future work in the paper, but eviction is
+    /// needed by the online-arrival extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn uncache(&mut self, node: NodeId, chunk: ChunkId) -> bool {
+        self.cached[node.index()].remove(&chunk)
+    }
+
+    /// The Fairness Degree Cost of Eq. 1: `S(i) / (S_tot(i) - S(i))`.
+    ///
+    /// Returns `0.0` for an empty cache, `f64::INFINITY` when storage is
+    /// exhausted (or has zero capacity), and `f64::INFINITY` for the
+    /// producer, which may never be selected as a caching facility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn fairness_cost(&self, node: NodeId) -> f64 {
+        if node == self.producer {
+            return f64::INFINITY;
+        }
+        let used = self.used(node) as f64;
+        let remaining = self.remaining(node) as f64;
+        if remaining == 0.0 {
+            f64::INFINITY
+        } else {
+            used / remaining
+        }
+    }
+
+    /// Number of chunks cached per node, indexed by node id.
+    pub fn load_vector(&self) -> Vec<usize> {
+        self.cached.iter().map(BTreeSet::len).collect()
+    }
+
+    /// Remaining battery fraction of `node` (1.0 unless set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn battery(&self, node: NodeId) -> f64 {
+        self.battery[node.index()]
+    }
+
+    /// Sets the remaining battery fraction of `node`.
+    ///
+    /// Footnote 1 of §III-B: battery is the second resource users care
+    /// about; a Fairness Degree Cost on it is "defined similarly and
+    /// considered together in weighted summation" — see
+    /// [`Network::battery_fairness_cost`] and
+    /// [`crate::costs::CostWeights::battery_fairness`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `fraction` is in
+    /// `[0, 1]`.
+    pub fn set_battery(&mut self, node: NodeId, fraction: f64) -> Result<(), CoreError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(CoreError::InvalidParameter(format!(
+                "battery fraction must be in [0, 1], got {fraction}"
+            )));
+        }
+        self.battery[node.index()] = fraction;
+        Ok(())
+    }
+
+    /// Drains `amount` battery from `node`, saturating at empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn drain_battery(&mut self, node: NodeId, amount: f64) {
+        let b = &mut self.battery[node.index()];
+        *b = (*b - amount.max(0.0)).max(0.0);
+    }
+
+    /// The battery analog of Eq. 1: consumed over remaining,
+    /// `(1 - b) / b` for battery fraction `b`.
+    ///
+    /// Returns `0.0` for a full battery, `f64::INFINITY` for an empty
+    /// one, and `f64::INFINITY` for the producer (never a facility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn battery_fairness_cost(&self, node: NodeId) -> f64 {
+        if node == self.producer {
+            return f64::INFINITY;
+        }
+        let b = self.battery[node.index()];
+        if b <= 0.0 {
+            f64::INFINITY
+        } else {
+            (1.0 - b) / b
+        }
+    }
+
+    /// Restricts `chunk` to the given interested clients.
+    ///
+    /// §III-A assumes "every node wants to acquire all the cached
+    /// data"; real sharing apps have per-item audiences (only some
+    /// attendees care about a given video clip). A restricted chunk is
+    /// planned, assigned, and costed for its audience only. An empty
+    /// iterator removes the chunk's audience entirely (it will be
+    /// placed with zero access demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Graph`] for out-of-range nodes and
+    /// [`CoreError::InvalidParameter`] if the producer is listed (it
+    /// already has everything).
+    pub fn set_interest(
+        &mut self,
+        chunk: ChunkId,
+        clients: impl IntoIterator<Item = NodeId>,
+    ) -> Result<(), CoreError> {
+        let mut set = BTreeSet::new();
+        for n in clients {
+            if !self.graph.contains_node(n) {
+                return Err(CoreError::Graph(
+                    peercache_graph::GraphError::NodeOutOfBounds {
+                        node: n,
+                        node_count: self.node_count(),
+                    },
+                ));
+            }
+            if n == self.producer {
+                return Err(CoreError::InvalidParameter(format!(
+                    "producer {n} cannot be an interested client"
+                )));
+            }
+            set.insert(n);
+        }
+        self.interest.insert(chunk, set);
+        Ok(())
+    }
+
+    /// Clears any interest restriction on `chunk` (back to "everyone").
+    pub fn clear_interest(&mut self, chunk: ChunkId) {
+        self.interest.remove(&chunk);
+    }
+
+    /// The clients that want `chunk`, sorted — all clients unless a
+    /// restriction was set with [`Network::set_interest`].
+    pub fn interested_clients(&self, chunk: ChunkId) -> Vec<NodeId> {
+        match self.interest.get(&chunk) {
+            Some(set) => set.iter().copied().collect(),
+            None => self.clients().collect(),
+        }
+    }
+
+    /// Returns `true` if `node` wants `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn is_interested(&self, node: NodeId, chunk: ChunkId) -> bool {
+        if node == self.producer {
+            return false;
+        }
+        match self.interest.get(&chunk) {
+            Some(set) => set.contains(&node),
+            None => true,
+        }
+    }
+
+    /// Number of distinct chunks present anywhere in the network.
+    ///
+    /// This doubles as the producer's effective load in the contention
+    /// model: the producer originates every published chunk and keeps
+    /// transmitting each of them to its neighbors, so its node term
+    /// inflates with the number of chunks in circulation even though it
+    /// "caches" nothing.
+    pub fn distinct_cached_chunks(&self) -> usize {
+        let mut all = BTreeSet::new();
+        for set in &self.cached {
+            all.extend(set.iter().copied());
+        }
+        all.len()
+    }
+
+    /// Total free chunk slots across all non-producer nodes.
+    pub fn total_free_slots(&self) -> usize {
+        self.clients().map(|n| self.remaining(n)).sum()
+    }
+
+    /// Clears all cached chunks, keeping topology and capacities.
+    pub fn reset(&mut self) {
+        for set in &mut self.cached {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peercache_graph::builders;
+
+    fn net3x3() -> Network {
+        Network::new(builders::grid(3, 3), NodeId::new(4), 2).unwrap()
+    }
+
+    #[test]
+    fn constructor_rejects_bad_producer() {
+        let err = Network::new(builders::grid(2, 2), NodeId::new(10), 1).unwrap_err();
+        assert!(matches!(err, CoreError::Graph(_)));
+    }
+
+    #[test]
+    fn constructor_rejects_disconnected_graph() {
+        let g = Graph::new(3);
+        let err = Network::new(g, NodeId::new(0), 1).unwrap_err();
+        assert_eq!(err, CoreError::DisconnectedNetwork);
+    }
+
+    #[test]
+    fn constructor_rejects_wrong_capacity_len() {
+        let err =
+            Network::with_capacities(builders::grid(2, 2), NodeId::new(0), vec![1, 1]).unwrap_err();
+        assert!(matches!(err, CoreError::Graph(_)));
+    }
+
+    #[test]
+    fn clients_exclude_producer() {
+        let net = net3x3();
+        let clients: Vec<NodeId> = net.clients().collect();
+        assert_eq!(clients.len(), 8);
+        assert!(!clients.contains(&NodeId::new(4)));
+    }
+
+    #[test]
+    fn cache_updates_usage_and_fairness() {
+        let mut net = net3x3();
+        let n = NodeId::new(0);
+        assert_eq!(net.fairness_cost(n), 0.0);
+        net.cache(n, ChunkId::new(0)).unwrap();
+        assert_eq!(net.used(n), 1);
+        assert_eq!(net.remaining(n), 1);
+        assert_eq!(net.fairness_cost(n), 1.0);
+        net.cache(n, ChunkId::new(1)).unwrap();
+        assert!(net.fairness_cost(n).is_infinite());
+    }
+
+    #[test]
+    fn producer_cannot_cache_and_has_infinite_fairness() {
+        let mut net = net3x3();
+        let err = net.cache(NodeId::new(4), ChunkId::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::ProducerCannotCache { .. }));
+        assert!(net.fairness_cost(NodeId::new(4)).is_infinite());
+    }
+
+    #[test]
+    fn storage_full_rejected() {
+        let mut net = net3x3();
+        let n = NodeId::new(1);
+        net.cache(n, ChunkId::new(0)).unwrap();
+        net.cache(n, ChunkId::new(1)).unwrap();
+        let err = net.cache(n, ChunkId::new(2)).unwrap_err();
+        assert!(matches!(err, CoreError::StorageFull { .. }));
+    }
+
+    #[test]
+    fn duplicate_copy_rejected() {
+        let mut net = net3x3();
+        let n = NodeId::new(1);
+        net.cache(n, ChunkId::new(0)).unwrap();
+        let err = net.cache(n, ChunkId::new(0)).unwrap_err();
+        assert!(matches!(err, CoreError::AlreadyCached { .. }));
+    }
+
+    #[test]
+    fn holders_and_can_serve() {
+        let mut net = net3x3();
+        net.cache(NodeId::new(0), ChunkId::new(7)).unwrap();
+        net.cache(NodeId::new(8), ChunkId::new(7)).unwrap();
+        assert_eq!(net.holders(ChunkId::new(7)), vec![NodeId::new(0), NodeId::new(8)]);
+        assert!(net.can_serve(NodeId::new(0), ChunkId::new(7)));
+        assert!(net.can_serve(NodeId::new(4), ChunkId::new(7))); // producer
+        assert!(!net.can_serve(NodeId::new(1), ChunkId::new(7)));
+    }
+
+    #[test]
+    fn uncache_frees_a_slot() {
+        let mut net = net3x3();
+        let n = NodeId::new(2);
+        net.cache(n, ChunkId::new(0)).unwrap();
+        assert!(net.uncache(n, ChunkId::new(0)));
+        assert!(!net.uncache(n, ChunkId::new(0)));
+        assert_eq!(net.used(n), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut net = net3x3();
+        net.cache(NodeId::new(0), ChunkId::new(0)).unwrap();
+        net.reset();
+        assert_eq!(net.load_vector(), vec![0; 9]);
+        assert_eq!(net.total_free_slots(), 16);
+    }
+
+    #[test]
+    fn interest_defaults_to_everyone() {
+        let net = net3x3();
+        let audience = net.interested_clients(ChunkId::new(0));
+        assert_eq!(audience.len(), 8);
+        assert!(net.is_interested(NodeId::new(0), ChunkId::new(0)));
+        assert!(!net.is_interested(net.producer(), ChunkId::new(0)));
+    }
+
+    #[test]
+    fn interest_restriction_and_clearing() {
+        let mut net = net3x3();
+        net.set_interest(ChunkId::new(1), [NodeId::new(0), NodeId::new(8)])
+            .unwrap();
+        assert_eq!(
+            net.interested_clients(ChunkId::new(1)),
+            vec![NodeId::new(0), NodeId::new(8)]
+        );
+        assert!(!net.is_interested(NodeId::new(1), ChunkId::new(1)));
+        // Other chunks are untouched.
+        assert!(net.is_interested(NodeId::new(1), ChunkId::new(0)));
+        net.clear_interest(ChunkId::new(1));
+        assert_eq!(net.interested_clients(ChunkId::new(1)).len(), 8);
+    }
+
+    #[test]
+    fn interest_rejects_producer_and_unknown_nodes() {
+        let mut net = net3x3();
+        assert!(matches!(
+            net.set_interest(ChunkId::new(0), [net.producer()]),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            net.set_interest(ChunkId::new(0), [NodeId::new(99)]),
+            Err(CoreError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn empty_interest_set_is_allowed() {
+        let mut net = net3x3();
+        net.set_interest(ChunkId::new(0), []).unwrap();
+        assert!(net.interested_clients(ChunkId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn battery_defaults_full_and_validates_range() {
+        let mut net = net3x3();
+        assert_eq!(net.battery(NodeId::new(0)), 1.0);
+        assert_eq!(net.battery_fairness_cost(NodeId::new(0)), 0.0);
+        assert!(net.set_battery(NodeId::new(0), 1.5).is_err());
+        assert!(net.set_battery(NodeId::new(0), -0.1).is_err());
+        net.set_battery(NodeId::new(0), 0.5).unwrap();
+        assert_eq!(net.battery_fairness_cost(NodeId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn battery_fairness_is_infinite_when_empty_or_producer() {
+        let mut net = net3x3();
+        net.set_battery(NodeId::new(1), 0.0).unwrap();
+        assert!(net.battery_fairness_cost(NodeId::new(1)).is_infinite());
+        assert!(net.battery_fairness_cost(net.producer()).is_infinite());
+    }
+
+    #[test]
+    fn drain_battery_saturates_at_zero() {
+        let mut net = net3x3();
+        net.drain_battery(NodeId::new(2), 0.7);
+        assert!((net.battery(NodeId::new(2)) - 0.3).abs() < 1e-12);
+        net.drain_battery(NodeId::new(2), 5.0);
+        assert_eq!(net.battery(NodeId::new(2)), 0.0);
+        // Negative amounts are clamped: draining never charges.
+        net.drain_battery(NodeId::new(2), -1.0);
+        assert_eq!(net.battery(NodeId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_node_has_infinite_fairness() {
+        let mut caps = vec![2; 4];
+        caps[1] = 0;
+        let net =
+            Network::with_capacities(builders::grid(2, 2), NodeId::new(0), caps).unwrap();
+        assert!(net.fairness_cost(NodeId::new(1)).is_infinite());
+    }
+
+    use peercache_graph::Graph;
+}

@@ -1,0 +1,173 @@
+//! Online chunk arrival — the paper's future-work extension.
+//!
+//! §VI: "Over long time periods, some chunks may become out-dated,
+//! necessitating cache replacement. We plan to ... develop online
+//! distributed solutions." [`OnlineCache`] is that extension for the
+//! centralized planner: chunks arrive one at a time, each placed with
+//! the approximation algorithm against the *current* storage state, and
+//! a retention window retires the oldest live chunk when exceeded
+//! (freeing its copies network-wide).
+
+use crate::approx::{dual_ascent, ApproxConfig};
+use crate::instance::ConflInstance;
+use crate::placement::ChunkPlacement;
+use crate::planner::{commit_chunk, prune_unused_facilities};
+use crate::{ChunkId, CoreError, Network};
+
+/// An evolving cache that places chunks as they arrive.
+#[derive(Debug, Clone)]
+pub struct OnlineCache {
+    net: Network,
+    config: ApproxConfig,
+    retention: Option<usize>,
+    live: Vec<ChunkId>,
+    history: Vec<ChunkPlacement>,
+    next_chunk: usize,
+}
+
+impl OnlineCache {
+    /// Creates an online cache over `net` using the approximation
+    /// algorithm with `config` for each arrival.
+    pub fn new(net: Network, config: ApproxConfig) -> Self {
+        OnlineCache {
+            net,
+            config,
+            retention: None,
+            live: Vec::new(),
+            history: Vec::new(),
+            next_chunk: 0,
+        }
+    }
+
+    /// Keep at most `chunks` live chunks; older ones are retired before
+    /// a new arrival is placed.
+    pub fn with_retention(mut self, chunks: usize) -> Self {
+        self.retention = Some(chunks.max(1));
+        self
+    }
+
+    /// The current network state.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the network, for environmental changes between
+    /// arrivals — draining batteries, adjusting capacities. Evicting
+    /// chunks through this handle instead of [`OnlineCache::retire_chunk`]
+    /// will desynchronize the live-chunk bookkeeping; prefer the typed
+    /// methods for cache state.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Chunks currently live (not retired), oldest first.
+    pub fn live_chunks(&self) -> &[ChunkId] {
+        &self.live
+    }
+
+    /// Placement records of every arrival, in arrival order.
+    pub fn history(&self) -> &[ChunkPlacement] {
+        &self.history
+    }
+
+    /// Places the next arriving chunk and returns its placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and storage errors.
+    pub fn insert_chunk(&mut self) -> Result<&ChunkPlacement, CoreError> {
+        if let Some(window) = self.retention {
+            while self.live.len() >= window {
+                let oldest = self.live[0];
+                self.retire_chunk(oldest);
+            }
+        }
+        let chunk = ChunkId::new(self.next_chunk);
+        self.next_chunk += 1;
+        let inst = ConflInstance::build_for_chunk(
+            &self.net,
+            chunk,
+            self.config.weights,
+            self.config.selection,
+        )?;
+        let (facilities, _) = dual_ascent(&self.net, &inst, &self.config)?;
+        let facilities = prune_unused_facilities(&self.net, &inst, &facilities);
+        let placement = commit_chunk(&mut self.net, &inst, chunk, &facilities)?;
+        self.live.push(chunk);
+        self.history.push(placement);
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Retires a chunk, evicting every cached copy; returns the number
+    /// of copies freed.
+    pub fn retire_chunk(&mut self, chunk: ChunkId) -> usize {
+        self.live.retain(|&c| c != chunk);
+        let holders = self.net.holders(chunk);
+        for node in &holders {
+            self.net.uncache(*node, chunk);
+        }
+        holders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::paper_grid;
+
+    fn cache() -> OnlineCache {
+        OnlineCache::new(paper_grid(4).unwrap(), ApproxConfig::default())
+    }
+
+    #[test]
+    fn arrivals_place_consecutive_chunk_ids() {
+        let mut c = cache();
+        let first = c.insert_chunk().unwrap().chunk;
+        let second = c.insert_chunk().unwrap().chunk;
+        assert_eq!(first, ChunkId::new(0));
+        assert_eq!(second, ChunkId::new(1));
+        assert_eq!(c.live_chunks().len(), 2);
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn retire_frees_all_copies() {
+        let mut c = cache();
+        let chunk = c.insert_chunk().unwrap().chunk;
+        let copies = c.network().holders(chunk).len();
+        assert!(copies > 0);
+        assert_eq!(c.retire_chunk(chunk), copies);
+        assert!(c.network().holders(chunk).is_empty());
+        assert!(c.live_chunks().is_empty());
+    }
+
+    #[test]
+    fn retention_window_evicts_oldest() {
+        let mut c = cache().with_retention(2);
+        for _ in 0..4 {
+            c.insert_chunk().unwrap();
+        }
+        assert_eq!(c.live_chunks(), &[ChunkId::new(2), ChunkId::new(3)]);
+        // Retired chunks hold no copies.
+        assert!(c.network().holders(ChunkId::new(0)).is_empty());
+        // History still remembers every arrival.
+        assert_eq!(c.history().len(), 4);
+    }
+
+    #[test]
+    fn long_run_never_exhausts_storage() {
+        // Without retention a 4x4/cap-5 grid would fill after ~10
+        // chunks; the window keeps the system healthy indefinitely.
+        let mut c = cache().with_retention(3);
+        for _ in 0..20 {
+            c.insert_chunk().unwrap();
+        }
+        assert_eq!(c.live_chunks().len(), 3);
+    }
+
+    #[test]
+    fn retiring_unknown_chunk_is_a_noop() {
+        let mut c = cache();
+        assert_eq!(c.retire_chunk(ChunkId::new(99)), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Human-readable placement reports.
+//!
+//! The evaluation figures boil placements down to single numbers; when
+//! *debugging* an algorithm you want to see the whole picture — who
+//! caches what, how load is distributed, what each phase costs. This
+//! module renders that as text (the examples use it, and Fig. 1-style
+//! load maps fall out of [`render_grid_loads`]).
+
+use std::fmt::Write as _;
+
+use crate::metrics;
+use crate::placement::Placement;
+use crate::Network;
+
+/// Renders a full placement report: per-chunk cache sets and costs,
+/// the load distribution, and the fairness metrics.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::{approx::ApproxPlanner, planner::CachePlanner, report, workload};
+///
+/// let mut net = workload::paper_grid(4)?;
+/// let placement = ApproxPlanner::default().plan(&mut net, 2)?;
+/// let text = report::render(&net, &placement);
+/// assert!(text.contains("chunk 0"));
+/// assert!(text.contains("gini"));
+/// # Ok::<(), peercache_core::CoreError>(())
+/// ```
+pub fn render(net: &Network, placement: &Placement) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "placement report: {} nodes, producer {}, {} chunks",
+        net.node_count(),
+        net.producer(),
+        placement.chunks().len()
+    );
+    for cp in placement.chunks() {
+        let caches: Vec<String> = cp.caches.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  chunk {}: {:2} copies [{}]  fair {:8.2}  access {:8.1}  tree {:8.1}",
+            cp.chunk,
+            cp.caches.len(),
+            caches.join(","),
+            cp.costs.fairness,
+            cp.costs.access,
+            cp.costs.dissemination,
+        );
+    }
+    let totals = placement.total_costs();
+    let _ = writeln!(
+        out,
+        "  totals: fairness {:.2}, access {:.1}, dissemination {:.1}, contention {:.1}",
+        totals.fairness,
+        totals.access,
+        totals.dissemination,
+        placement.total_contention_cost()
+    );
+
+    let loads: Vec<usize> = net.clients().map(|n| net.used(n)).collect();
+    let _ = writeln!(out, "{}", render_load_histogram(&loads));
+    let _ = writeln!(
+        out,
+        "  gini {:.3}, 75-percentile fairness {:.1}%, caching nodes {}/{}",
+        metrics::gini(&loads),
+        100.0 * metrics::p_percentile_fairness(&loads, 0.75),
+        loads.iter().filter(|&&l| l > 0).count(),
+        loads.len()
+    );
+    out
+}
+
+/// Renders a histogram of caching load ("how many nodes hold k chunks").
+pub fn render_load_histogram(loads: &[usize]) -> String {
+    let max = loads.iter().copied().max().unwrap_or(0);
+    let mut out = String::from("  load histogram:");
+    if loads.is_empty() {
+        out.push_str(" (no clients)");
+        return out;
+    }
+    out.push('\n');
+    for k in 0..=max {
+        let count = loads.iter().filter(|&&l| l == k).count();
+        let _ = writeln!(out, "    {k} chunks: {:3} nodes {}", count, "#".repeat(count));
+    }
+    out.pop();
+    out
+}
+
+/// Renders per-node cached-chunk counts laid out as a `cols`-wide grid
+/// (the textual cousin of Fig. 1; the producer prints as `*`).
+///
+/// # Panics
+///
+/// Panics if `cols` is zero.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::{report, workload};
+///
+/// let net = workload::paper_grid(3)?;
+/// let grid = report::render_grid_loads(&net, 3);
+/// assert_eq!(grid.lines().count(), 3);
+/// assert!(grid.contains('*')); // the producer
+/// # Ok::<(), peercache_core::CoreError>(())
+/// ```
+pub fn render_grid_loads(net: &Network, cols: usize) -> String {
+    assert!(cols > 0, "cols must be positive");
+    let loads = net.load_vector();
+    let mut out = String::new();
+    for (i, load) in loads.iter().enumerate() {
+        if i > 0 && i % cols == 0 {
+            out.push('\n');
+        }
+        if peercache_graph::NodeId::new(i) == net.producer() {
+            out.push_str("  *");
+        } else {
+            let _ = write!(out, "{load:3}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::ApproxPlanner;
+    use crate::planner::CachePlanner;
+    use crate::workload::paper_grid;
+
+    #[test]
+    fn report_mentions_every_chunk_and_the_metrics() {
+        let mut net = paper_grid(4).unwrap();
+        let placement = ApproxPlanner::default().plan(&mut net, 3).unwrap();
+        let text = render(&net, &placement);
+        for q in 0..3 {
+            assert!(text.contains(&format!("chunk {q}")));
+        }
+        assert!(text.contains("gini"));
+        assert!(text.contains("totals:"));
+    }
+
+    #[test]
+    fn histogram_counts_every_bucket() {
+        let text = render_load_histogram(&[0, 0, 2, 2, 2, 5]);
+        assert!(text.contains("0 chunks:   2"));
+        assert!(text.contains("2 chunks:   3"));
+        assert!(text.contains("5 chunks:   1"));
+        assert!(text.contains("1 chunks:   0"));
+    }
+
+    #[test]
+    fn empty_histogram_is_graceful() {
+        assert!(render_load_histogram(&[]).contains("no clients"));
+    }
+
+    #[test]
+    fn grid_render_marks_the_producer() {
+        let net = paper_grid(3).unwrap();
+        let grid = render_grid_loads(&net, 3);
+        assert_eq!(grid.matches('*').count(), 1);
+        assert_eq!(grid.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cols must be positive")]
+    fn zero_cols_panics() {
+        let net = paper_grid(3).unwrap();
+        let _ = render_grid_loads(&net, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Workload and scenario generation for the evaluation.
+//!
+//! The paper's simulations run on grid networks (producer at node 9,
+//! capacity 5, 5 chunks) and connected random geometric networks of
+//! 20–180 nodes. [`ScenarioBuilder`] assembles those [`Network`]s
+//! reproducibly from a seed.
+
+use peercache_graph::{builders, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{CoreError, Network};
+
+/// Topology families used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// A `rows x cols` grid (§V-A).
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// A connected random geometric network in the unit square.
+    RandomGeometric {
+        /// Number of nodes.
+        nodes: usize,
+        /// Communication range.
+        range: f64,
+    },
+    /// A connected Erdős–Rényi network (stress testing).
+    ErdosRenyi {
+        /// Number of nodes.
+        nodes: usize,
+        /// Edge probability.
+        p: f64,
+    },
+}
+
+/// Builder for evaluation scenarios.
+///
+/// # Example
+///
+/// ```
+/// use peercache_core::workload::{ScenarioBuilder, Topology};
+///
+/// // The paper's default: 6x6 grid, producer node 9, capacity 5.
+/// let net = ScenarioBuilder::new(Topology::Grid { rows: 6, cols: 6 })
+///     .capacity(5)
+///     .producer(9)
+///     .build()?;
+/// assert_eq!(net.node_count(), 36);
+/// assert_eq!(net.producer().index(), 9);
+/// # Ok::<(), peercache_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    topology: Topology,
+    capacity: usize,
+    capacity_range: Option<(usize, usize)>,
+    producer: Option<usize>,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Starts a scenario on the given topology with the paper's
+    /// defaults: capacity 5, producer node 9 (clamped to the graph),
+    /// seed 0.
+    pub fn new(topology: Topology) -> Self {
+        ScenarioBuilder {
+            topology,
+            capacity: 5,
+            capacity_range: None,
+            producer: None,
+            seed: 0,
+        }
+    }
+
+    /// Uniform per-node caching capacity (default 5, as in §V-A).
+    pub fn capacity(mut self, chunks: usize) -> Self {
+        self.capacity = chunks;
+        self
+    }
+
+    /// Heterogeneous capacities drawn uniformly from `min..=max`
+    /// (models devices contributing different amounts of storage).
+    pub fn capacity_between(mut self, min: usize, max: usize) -> Self {
+        self.capacity_range = Some((min.min(max), min.max(max)));
+        self
+    }
+
+    /// Index of the producer node (default: node 9, clamped into range).
+    pub fn producer(mut self, index: usize) -> Self {
+        self.producer = Some(index);
+        self
+    }
+
+    /// RNG seed for random topologies and capacities.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from [`Network`] construction (bad
+    /// producer index, degenerate topology).
+    pub fn build(&self) -> Result<Network, CoreError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let graph = match self.topology {
+            Topology::Grid { rows, cols } => builders::grid(rows, cols),
+            Topology::RandomGeometric { nodes, range } => {
+                builders::random_geometric(nodes, range, &mut rng)
+            }
+            Topology::ErdosRenyi { nodes, p } => {
+                builders::erdos_renyi_connected(nodes, p, &mut rng)
+            }
+        };
+        let n = graph.node_count();
+        let producer = NodeId::new(self.producer.unwrap_or(9).min(n.saturating_sub(1)));
+        match self.capacity_range {
+            None => Network::new(graph, producer, self.capacity),
+            Some((min, max)) => {
+                let caps = (0..n).map(|_| rng.gen_range(min..=max)).collect();
+                Network::with_capacities(graph, producer, caps)
+            }
+        }
+    }
+}
+
+/// The paper's default benchmark scenario: a `side x side` grid,
+/// producer node 9 (or the last node on tiny grids), capacity 5.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from network construction.
+pub fn paper_grid(side: usize) -> Result<Network, CoreError> {
+    ScenarioBuilder::new(Topology::Grid {
+        rows: side,
+        cols: side,
+    })
+    .build()
+}
+
+/// The paper's random-network scenario: `nodes` nodes, a range chosen
+/// to keep average degree moderate, producer node 0, capacity 5.
+///
+/// # Errors
+///
+/// Propagates [`CoreError`] from network construction.
+pub fn paper_random(nodes: usize, seed: u64) -> Result<Network, CoreError> {
+    // Range ~ sqrt(8 / (pi n)) keeps the expected degree near 8 while
+    // the repair step guarantees connectivity at every size.
+    let range = (8.0 / (std::f64::consts::PI * nodes as f64)).sqrt();
+    ScenarioBuilder::new(Topology::RandomGeometric { nodes, range })
+        .producer(0)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_defaults() {
+        let net = paper_grid(6).unwrap();
+        assert_eq!(net.node_count(), 36);
+        assert_eq!(net.producer().index(), 9);
+        assert_eq!(net.capacity(NodeId::new(0)), 5);
+    }
+
+    #[test]
+    fn tiny_grid_clamps_producer() {
+        let net = paper_grid(2).unwrap();
+        assert_eq!(net.producer().index(), 3);
+    }
+
+    #[test]
+    fn random_scenarios_are_reproducible() {
+        let a = paper_random(40, 7).unwrap();
+        let b = paper_random(40, 7).unwrap();
+        assert_eq!(a, b);
+        let c = paper_random(40, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_stay_in_range() {
+        let net = ScenarioBuilder::new(Topology::Grid { rows: 4, cols: 4 })
+            .capacity_between(1, 3)
+            .seed(5)
+            .build()
+            .unwrap();
+        for n in net.graph().nodes() {
+            assert!((1..=3).contains(&net.capacity(n)));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_builds_connected_networks() {
+        let net = ScenarioBuilder::new(Topology::ErdosRenyi { nodes: 25, p: 0.1 })
+            .producer(0)
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(net.node_count(), 25);
+    }
+
+    #[test]
+    fn bad_producer_index_is_clamped_not_rejected() {
+        let net = ScenarioBuilder::new(Topology::Grid { rows: 2, cols: 2 })
+            .producer(100)
+            .build()
+            .unwrap();
+        assert_eq!(net.producer().index(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! The distributed fair-caching algorithm (Algorithm 2) on a
+//! discrete-event message simulator.
+//!
+//! Devices in a pervasive edge environment do not know the global
+//! topology, so §IV-C of the paper distributes the dual ascent: nodes
+//! exchange contention information within a `k`-hop range, raise
+//! connection/resource/relay bids (`α`, `β`, `γ`), and elect caching
+//! (ADMIN) nodes through the TIGHT / SPAN / FREEZE / NADMIN / BADMIN
+//! message protocol of Table II.
+//!
+//! * [`engine`] — the discrete-event core: virtual clock, event queue,
+//!   hop-delayed delivery, optional message loss.
+//! * [`protocol`] — the seven message types and per-type statistics.
+//! * [`view`] — each node's k-hop local view (the result of the CC
+//!   contention-collection exchange).
+//! * [`sim`] — the per-chunk protocol state machine.
+//! * [`runner`] — [`DistributedPlanner`], a drop-in
+//!   [`peercache_core::planner::CachePlanner`] that runs the protocol
+//!   chunk by chunk and reports message counts.
+//!
+//! # Example
+//!
+//! ```
+//! use peercache_core::{planner::CachePlanner, workload::paper_grid};
+//! use peercache_dist::DistributedPlanner;
+//!
+//! let mut net = paper_grid(4)?;
+//! let planner = DistributedPlanner::default(); // k = 2 hops
+//! let placement = planner.plan(&mut net, 3)?;
+//! assert_eq!(placement.chunks().len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod runner;
+pub mod sim;
+pub mod view;
+
+pub use runner::{DistributedConfig, DistributedPlanner, RunReport};

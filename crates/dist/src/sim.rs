@@ -1,0 +1,483 @@
+//! The per-chunk protocol round (the body of Algorithm 2).
+//!
+//! One round caches one chunk: the producer broadcasts NPI, clients bid
+//! (`α` per tick), send TIGHT when a candidate's estimated contention
+//! cost is covered, escalate to SPAN when the relay bid `γ` is covered,
+//! and a candidate promotes itself to ADMIN when it has gathered
+//! [`SimConfig::span_threshold`] SPAN supporters *and* the resource
+//! contributions it has observed cover its own Fairness Degree Cost —
+//! the distributed analog of the centralized `Σ_j β_ij ≥ f_i` rule
+//! (supporters keep bidding `U_β` per tick from the moment their TIGHT
+//! arrived, so the admin can account the collected `β` locally).
+//!
+//! Clients that run out of candidates fall back to fetching from the
+//! producer, which guarantees termination even under message loss.
+
+use peercache_core::{ChunkId, Network};
+use peercache_graph::paths::bfs_hops;
+use peercache_graph::NodeId;
+
+use crate::engine::{Engine, JitterConfig, LossConfig, Tick};
+use crate::protocol::{Message, MessageStats};
+use crate::view::LocalView;
+
+/// Parameters of one protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Bid increment of `α` per tick.
+    pub u_alpha: f64,
+    /// Bid increment of `β` per tick (per tight candidate).
+    pub u_beta: f64,
+    /// Bid increment of `γ` per tick (per tight candidate).
+    pub u_gamma: f64,
+    /// SPAN supporters required before a node declares itself ADMIN
+    /// (the `M` of Algorithm 2).
+    pub span_threshold: usize,
+    /// A client abandons peer caching and fetches from the producer
+    /// once `α` exceeds this multiple of its costliest visible peer.
+    pub give_up_factor: f64,
+    /// Hard tick budget per chunk round.
+    pub max_ticks: Tick,
+    /// Message-loss fault injection.
+    pub loss: LossConfig,
+    /// Random extra delivery delay.
+    pub jitter: JitterConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            u_alpha: 1.0,
+            u_beta: 1.0,
+            u_gamma: 1.0,
+            span_threshold: 4,
+            give_up_factor: 2.5,
+            max_ticks: 100_000,
+            loss: LossConfig::default(),
+            jitter: JitterConfig::default(),
+        }
+    }
+}
+
+/// Result of one chunk's protocol round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// Nodes that declared themselves ADMIN (will cache the chunk).
+    pub admins: Vec<NodeId>,
+    /// Delivered/dropped message counters (CC traffic excluded — it is
+    /// accounted by [`crate::view::build_views`]).
+    pub stats: MessageStats,
+    /// Ticks until every client settled.
+    pub ticks: Tick,
+    /// Clients that gave up on peers and fell back to the producer.
+    pub producer_fallbacks: usize,
+}
+
+/// How often (in ticks) the producer re-broadcasts NPI to nodes that
+/// have not joined the round yet (loss recovery).
+const NPI_RETRANSMIT_INTERVAL: Tick = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the NPI announcement.
+    Idle,
+    /// Bidding.
+    Active,
+    /// Served; bids stopped.
+    Frozen,
+    /// Volunteered to cache the chunk.
+    Admin,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    phase: Phase,
+    alpha: f64,
+    tight_sent: Vec<bool>,
+    span_sent: Vec<bool>,
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    /// TIGHT/SPAN requesters and the tick their first request arrived.
+    requesters: Vec<(NodeId, Tick)>,
+    span_count: usize,
+}
+
+impl NodeState {
+    fn new(member_count: usize) -> Self {
+        NodeState {
+            phase: Phase::Idle,
+            alpha: 0.0,
+            tight_sent: vec![false; member_count],
+            span_sent: vec![false; member_count],
+            gamma: vec![0.0; member_count],
+            beta: vec![0.0; member_count],
+            requesters: Vec::new(),
+            span_count: 0,
+        }
+    }
+
+    fn settled(&self) -> bool {
+        matches!(self.phase, Phase::Frozen | Phase::Admin)
+    }
+}
+
+/// Runs the protocol for one chunk and returns the elected ADMIN set.
+///
+/// `views` must have been built for the network's *current* caching
+/// state (see [`crate::view::build_views`]).
+pub fn run_chunk_round(
+    net: &Network,
+    views: &[LocalView],
+    chunk: ChunkId,
+    cfg: &SimConfig,
+) -> RoundOutcome {
+    let producer = net.producer();
+    let producer_hops = bfs_hops(net.graph(), producer);
+    let mut engine = Engine::with_faults(cfg.loss, cfg.jitter);
+    let mut states: Vec<NodeState> = views
+        .iter()
+        .map(|v| NodeState::new(v.members().len()))
+        .collect();
+    states[producer.index()].phase = Phase::Admin; // always serving
+    let mut fallbacks = 0usize;
+
+    // NPI broadcast: one message per client, delivered at hop distance.
+    for j in net.clients() {
+        let hops = producer_hops[j.index()].unwrap_or(1);
+        engine.send(j, hops, Message::Npi { chunk });
+    }
+
+    let mut tick: Tick = 0;
+    while tick < cfg.max_ticks {
+        tick += 1;
+
+        // Lossy links can swallow the NPI broadcast; the producer
+        // periodically re-announces so every node eventually joins.
+        if tick.is_multiple_of(NPI_RETRANSMIT_INTERVAL) {
+            for j in net.clients() {
+                if states[j.index()].phase == Phase::Idle {
+                    let hops = producer_hops[j.index()].unwrap_or(1);
+                    engine.send(j, hops, Message::Npi { chunk });
+                }
+            }
+        }
+
+        // Deliver everything due at this tick.
+        while engine.next_time().is_some_and(|t| t <= tick) {
+            let d = engine.next_delivery().expect("peeked delivery exists");
+            handle_message(net, views, cfg, &mut states, &mut engine, d.to, d.msg, tick);
+        }
+
+        // Per-tick bidding for active clients, in id order.
+        for j in net.clients() {
+            if states[j.index()].phase != Phase::Active {
+                continue;
+            }
+            let view = &views[j.index()];
+            let st = &mut states[j.index()];
+            st.alpha += cfg.u_alpha;
+            for idx in 0..view.members().len() {
+                let cost = view.cost(idx);
+                if !cost.is_finite() {
+                    continue;
+                }
+                if !st.tight_sent[idx] && st.alpha >= cost {
+                    st.tight_sent[idx] = true;
+                    engine.send(view.members()[idx], view.hops(idx), Message::Tight { from: j });
+                }
+                if st.tight_sent[idx] {
+                    st.beta[idx] += cfg.u_beta;
+                    st.gamma[idx] += cfg.u_gamma;
+                    if !st.span_sent[idx] && st.gamma[idx] >= cost {
+                        st.span_sent[idx] = true;
+                        engine.send(view.members()[idx], view.hops(idx), Message::Span { from: j });
+                    }
+                }
+            }
+            // Fallback: no peer left worth waiting for.
+            if st.alpha > cfg.give_up_factor * view.max_cost() + 1.0 {
+                st.phase = Phase::Frozen;
+                fallbacks += 1;
+            }
+        }
+
+        // Promotion checks (β accounting advances with time, not only
+        // with message arrivals).
+        for i in net.clients() {
+            try_promote(net, cfg, &mut states, &mut engine, i, tick);
+        }
+
+        if net.clients().all(|j| states[j.index()].settled()) {
+            break;
+        }
+    }
+
+    // Anything still unsettled at the budget is served by the producer.
+    for j in net.clients() {
+        if !states[j.index()].settled() {
+            states[j.index()].phase = Phase::Frozen;
+            fallbacks += 1;
+        }
+    }
+
+    let admins: Vec<NodeId> = net
+        .clients()
+        .filter(|&i| states[i.index()].phase == Phase::Admin)
+        .collect();
+    RoundOutcome {
+        admins,
+        stats: *engine.stats(),
+        ticks: tick,
+        producer_fallbacks: fallbacks,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_message(
+    net: &Network,
+    views: &[LocalView],
+    cfg: &SimConfig,
+    states: &mut [NodeState],
+    engine: &mut Engine,
+    to: NodeId,
+    msg: Message,
+    now: Tick,
+) {
+    match msg {
+        Message::Npi { .. } => {
+            if states[to.index()].phase == Phase::Idle {
+                states[to.index()].phase = Phase::Active;
+            }
+        }
+        Message::Tight { from } | Message::Span { from } => {
+            let is_span = matches!(msg, Message::Span { .. });
+            let phase = states[to.index()].phase;
+            if !states[to.index()].requesters.iter().any(|&(r, _)| r == from) {
+                states[to.index()].requesters.push((from, now));
+            }
+            match phase {
+                Phase::Admin => {
+                    // Producer or an elected admin: serve immediately.
+                    engine.send(from, 1, Message::Freeze { provider: to });
+                }
+                Phase::Frozen if net.remaining(to) == 0 => {
+                    // INACTIVE branch (Table I): a node that cannot cache
+                    // anything points the requester at itself as a relay
+                    // toward its own provider.
+                    engine.send(from, 1, Message::Freeze { provider: to });
+                }
+                Phase::Frozen => {
+                    // A served node with spare storage stays quiet: its
+                    // requesters keep bidding until an admin emerges or
+                    // they fall back to the producer. Answering with a
+                    // relay here would freeze the whole network before
+                    // any election could gather SPAN support.
+                }
+                Phase::Active | Phase::Idle => {
+                    if is_span {
+                        states[to.index()].span_count += 1;
+                        try_promote(net, cfg, states, engine, to, now);
+                    }
+                }
+            }
+        }
+        Message::Freeze { .. } => {
+            if states[to.index()].phase == Phase::Active
+                || states[to.index()].phase == Phase::Idle
+            {
+                states[to.index()].phase = Phase::Frozen;
+            }
+        }
+        Message::NAdmin { admin } => {
+            if states[to.index()].phase == Phase::Active
+                || states[to.index()].phase == Phase::Idle
+            {
+                states[to.index()].phase = Phase::Frozen;
+                // Our pending requesters can reach the chunk through us.
+                let requesters: Vec<NodeId> = states[to.index()]
+                    .requesters
+                    .iter()
+                    .map(|&(r, _)| r)
+                    .collect();
+                for r in requesters {
+                    engine.send(r, 1, Message::Freeze { provider: admin });
+                }
+            }
+        }
+        Message::BAdmin { admin } => {
+            // Freeze only when we actually contributed resources toward
+            // this admin (the paper's β_j > Con_j guard).
+            let view = &views[to.index()];
+            if states[to.index()].phase == Phase::Active {
+                if let Some(idx) = view.index_of(admin) {
+                    if states[to.index()].beta[idx] > 0.0 {
+                        states[to.index()].phase = Phase::Frozen;
+                        let requesters: Vec<NodeId> = states[to.index()]
+                            .requesters
+                            .iter()
+                            .map(|&(r, _)| r)
+                            .collect();
+                        for r in requesters {
+                            engine.send(r, 1, Message::Freeze { provider: admin });
+                        }
+                    }
+                }
+            }
+        }
+        Message::CollectContention { .. } | Message::ContentionReply { .. } => {
+            // CC traffic is modeled by `view::build_views`.
+        }
+    }
+}
+
+/// Declares `i` ADMIN when it has storage, enough SPAN supporters, and
+/// the observed resource contributions cover its fairness cost.
+fn try_promote(
+    net: &Network,
+    cfg: &SimConfig,
+    states: &mut [NodeState],
+    engine: &mut Engine,
+    i: NodeId,
+    now: Tick,
+) {
+    if states[i.index()].phase != Phase::Active && states[i.index()].phase != Phase::Idle {
+        return;
+    }
+    if net.remaining(i) == 0 {
+        return; // a full node never volunteers
+    }
+    if states[i.index()].span_count < cfg.span_threshold {
+        return;
+    }
+    // Collected β estimate: every requester bids U_β per tick since its
+    // request arrived.
+    let collected: f64 = states[i.index()]
+        .requesters
+        .iter()
+        .map(|&(_, since)| cfg.u_beta * (now.saturating_sub(since)) as f64)
+        .sum();
+    let f_i = net.fairness_cost(i);
+    if collected < f_i {
+        return;
+    }
+    states[i.index()].phase = Phase::Admin;
+    let requesters: Vec<NodeId> = states[i.index()]
+        .requesters
+        .iter()
+        .map(|&(r, _)| r)
+        .collect();
+    for r in &requesters {
+        engine.send(*r, 1, Message::NAdmin { admin: i });
+    }
+    for j in net.clients() {
+        if j != i && !requesters.contains(&j) {
+            engine.send(j, 1, Message::BAdmin { admin: i });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::build_views;
+    use peercache_core::workload::paper_grid;
+
+    fn round(side: usize, k: u32, cfg: &SimConfig) -> RoundOutcome {
+        let net = paper_grid(side).unwrap();
+        let (views, _) = build_views(&net, k);
+        run_chunk_round(&net, &views, ChunkId::new(0), cfg)
+    }
+
+    #[test]
+    fn round_terminates_and_elects_admins() {
+        let out = round(6, 2, &SimConfig::default());
+        assert!(out.ticks < SimConfig::default().max_ticks);
+        assert!(!out.admins.is_empty(), "a 6x6 grid should elect caches");
+        assert!(out.stats.tight > 0);
+        assert!(out.stats.span > 0);
+    }
+
+    #[test]
+    fn producer_never_becomes_admin() {
+        let net = paper_grid(4).unwrap();
+        let (views, _) = build_views(&net, 2);
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
+        assert!(!out.admins.contains(&net.producer()));
+    }
+
+    #[test]
+    fn one_hop_scope_elects_fewer_admins_than_two_hop() {
+        let k1 = round(6, 1, &SimConfig::default());
+        let k2 = round(6, 2, &SimConfig::default());
+        assert!(
+            k1.admins.len() <= k2.admins.len(),
+            "k=1 gave {} admins, k=2 gave {}",
+            k1.admins.len(),
+            k2.admins.len()
+        );
+    }
+
+    #[test]
+    fn huge_span_threshold_blocks_elections() {
+        let cfg = SimConfig {
+            span_threshold: 10_000,
+            ..Default::default()
+        };
+        let out = round(4, 2, &cfg);
+        assert!(out.admins.is_empty());
+        // Everybody fell back to the producer but the round terminated.
+        assert!(out.producer_fallbacks > 0);
+    }
+
+    #[test]
+    fn full_nodes_never_volunteer() {
+        let mut net = paper_grid(3).unwrap();
+        // Fill every client completely.
+        for j in net.clients().collect::<Vec<_>>() {
+            for c in 0..net.capacity(j) {
+                net.cache(j, ChunkId::new(100 + c)).unwrap();
+            }
+        }
+        let (views, _) = build_views(&net, 2);
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
+        assert!(out.admins.is_empty());
+    }
+
+    #[test]
+    fn rounds_are_deterministic() {
+        let a = round(5, 2, &SimConfig::default());
+        let b = round(5, 2, &SimConfig::default());
+        assert_eq!(a.admins, b.admins);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ticks, b.ticks);
+    }
+
+    #[test]
+    fn survives_delivery_jitter() {
+        let cfg = SimConfig {
+            jitter: JitterConfig {
+                max_extra_ticks: 4,
+                seed: 9,
+            },
+            ..Default::default()
+        };
+        let out = round(5, 2, &cfg);
+        assert!(out.ticks < cfg.max_ticks);
+        // Jitter reorders elections but the protocol still caches.
+        assert!(!out.admins.is_empty());
+    }
+
+    #[test]
+    fn survives_heavy_message_loss() {
+        let cfg = SimConfig {
+            loss: LossConfig {
+                drop_probability: 0.3,
+                seed: 42,
+            },
+            ..Default::default()
+        };
+        let out = round(5, 2, &cfg);
+        assert!(out.ticks < cfg.max_ticks, "lossy round must still terminate");
+        assert!(out.stats.dropped > 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Topology analysis: eccentricities, diameter, path lengths, degree
+//! statistics and betweenness centrality.
+//!
+//! These statistics explain *why* the caching algorithms behave the way
+//! they do on a topology: the Hop-Count baseline gravitates to the
+//! betweenness peak, contention costs concentrate on high-degree nodes,
+//! and the dual ascent's convergence time tracks the producer's
+//! eccentricity.
+
+use std::collections::VecDeque;
+
+use crate::paths::bfs_hops;
+use crate::{Graph, GraphError, NodeId};
+
+/// Hop eccentricity of every node: the distance to its farthest peer.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] if any pair is unreachable.
+pub fn eccentricities(g: &Graph) -> Result<Vec<u32>, GraphError> {
+    let mut out = Vec::with_capacity(g.node_count());
+    for n in g.nodes() {
+        let hops = bfs_hops(g, n);
+        let mut ecc = 0;
+        for h in hops {
+            match h {
+                Some(h) => ecc = ecc.max(h),
+                None => return Err(GraphError::Disconnected),
+            }
+        }
+        out.push(ecc);
+    }
+    Ok(out)
+}
+
+/// Hop diameter: the largest eccentricity (0 for empty/singleton).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] for disconnected graphs.
+pub fn diameter(g: &Graph) -> Result<u32, GraphError> {
+    Ok(eccentricities(g)?.into_iter().max().unwrap_or(0))
+}
+
+/// Hop radius: the smallest eccentricity (0 for empty/singleton).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] for disconnected graphs.
+pub fn radius(g: &Graph) -> Result<u32, GraphError> {
+    Ok(eccentricities(g)?.into_iter().min().unwrap_or(0))
+}
+
+/// Mean hop distance over all ordered pairs of distinct nodes.
+///
+/// Returns 0 for graphs with fewer than two nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] for disconnected graphs.
+pub fn average_path_length(g: &Graph) -> Result<f64, GraphError> {
+    let n = g.node_count();
+    if n < 2 {
+        return Ok(0.0);
+    }
+    let mut total = 0u64;
+    for src in g.nodes() {
+        for h in bfs_hops(g, src) {
+            match h {
+                Some(h) => total += u64::from(h),
+                None => return Err(GraphError::Disconnected),
+            }
+        }
+    }
+    Ok(total as f64 / (n * (n - 1)) as f64)
+}
+
+/// Summary of the degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Degree statistics of the graph (zeros for the empty graph).
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+    if degrees.is_empty() {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
+    }
+    DegreeStats {
+        min: *degrees.iter().min().expect("nonempty"),
+        max: *degrees.iter().max().expect("nonempty"),
+        mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+    }
+}
+
+/// Betweenness centrality of every node (Brandes' algorithm on the
+/// unweighted graph), normalized by the number of ordered pairs not
+/// involving the node.
+///
+/// High-betweenness nodes relay the most shortest paths — they are
+/// where contention concentrates, and where the Hop-Count baseline
+/// likes to park its caches.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{analysis, builders, NodeId};
+///
+/// let g = builders::star(5);
+/// let bc = analysis::betweenness(&g);
+/// // The hub relays every leaf pair; leaves relay nothing.
+/// assert_eq!(bc[0], 1.0);
+/// assert_eq!(bc[1], 0.0);
+/// ```
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut centrality = vec![0.0f64; n];
+    for s in 0..n {
+        // Brandes: single-source shortest-path DAG + dependency
+        // accumulation in reverse BFS order.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for w in g.neighbors(NodeId::new(v)) {
+                let w = w.index();
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    // Normalize by the (n-1)(n-2) ordered pairs excluding the node.
+    if n > 2 {
+        let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
+        for c in &mut centrality {
+            *c *= scale;
+        }
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn grid_eccentricities_and_diameter() {
+        let g = builders::grid(3, 3);
+        let ecc = eccentricities(&g).unwrap();
+        assert_eq!(ecc[4], 2); // center
+        assert_eq!(ecc[0], 4); // corner
+        assert_eq!(diameter(&g).unwrap(), 4);
+        assert_eq!(radius(&g).unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let g = Graph::new(3);
+        assert_eq!(eccentricities(&g), Err(GraphError::Disconnected));
+        assert_eq!(diameter(&g), Err(GraphError::Disconnected));
+        assert_eq!(average_path_length(&g), Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        assert_eq!(diameter(&Graph::new(1)).unwrap(), 0);
+        assert_eq!(average_path_length(&Graph::new(1)).unwrap(), 0.0);
+        assert_eq!(diameter(&Graph::new(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn path_average_length() {
+        // Path 0-1-2: pairs (0,1)=1 (0,2)=2 (1,2)=1 both directions.
+        let g = builders::path(3);
+        let apl = average_path_length(&g).unwrap();
+        assert!((apl - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let s = degree_stats(&builders::star(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        let empty = degree_stats(&Graph::new(0));
+        assert_eq!(empty.max, 0);
+    }
+
+    #[test]
+    fn betweenness_of_path_peaks_in_the_middle() {
+        let g = builders::path(5);
+        let bc = betweenness(&g);
+        assert!(bc[2] > bc[1]);
+        assert!(bc[1] > bc[0]);
+        assert_eq!(bc[0], 0.0);
+        // Middle of a 5-path relays (0,3),(0,4),(1,3),(1,4),(3,0)... —
+        // normalized: 4 pairs each direction / 12 ordered pairs.
+        assert!((bc[2] - 8.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betweenness_of_complete_graph_is_zero() {
+        let g = builders::complete(5);
+        for c in betweenness(&g) {
+            assert_eq!(c, 0.0);
+        }
+    }
+
+    #[test]
+    fn betweenness_handles_equal_shortest_paths() {
+        // 4-cycle: opposite pairs have two shortest paths; each relay
+        // node carries half of each.
+        let g = builders::ring(4);
+        let bc = betweenness(&g);
+        for c in bc {
+            assert!((c - (2.0 * 0.5) / (3.0 * 2.0)).abs() < 1e-9);
+        }
+    }
+}

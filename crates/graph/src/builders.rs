@@ -1,0 +1,275 @@
+//! Topology generators for the evaluation scenarios of the paper.
+//!
+//! The paper evaluates on two families: **grid networks** (each node is
+//! connected to its four lattice neighbors) and **random networks**
+//! (nodes within a communication range are connected, with a guarantee
+//! that the result is a connected graph). The remaining generators are
+//! standard shapes useful in unit tests and examples.
+
+use rand::Rng;
+
+use crate::components;
+use crate::{Graph, NodeId};
+
+/// Builds a `rows x cols` grid network.
+///
+/// Node `(r, c)` has index `r * cols + c`; nodes are connected to their
+/// horizontal and vertical lattice neighbors, so interior nodes have
+/// degree 4 as in the paper's grid scenario.
+///
+/// A zero-sized dimension produces an empty graph.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::builders;
+///
+/// let g = builders::grid(6, 6);
+/// assert_eq!(g.node_count(), 36);
+/// // 2 * 6 * 5 lattice edges
+/// assert_eq!(g.edge_count(), 60);
+/// ```
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(NodeId::new(id), NodeId::new(id + 1))
+                    .expect("grid edges are in bounds");
+            }
+            if r + 1 < rows {
+                g.add_edge(NodeId::new(id), NodeId::new(id + cols))
+                    .expect("grid edges are in bounds");
+            }
+        }
+    }
+    g
+}
+
+/// Builds a path graph `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId::new(i - 1), NodeId::new(i))
+            .expect("path edges are in bounds");
+    }
+    g
+}
+
+/// Builds a ring graph (a path with the ends joined).
+///
+/// Rings with fewer than 3 nodes degenerate into a path, since the graph
+/// is simple.
+pub fn ring(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(NodeId::new(n - 1), NodeId::new(0))
+            .expect("ring closure edge is in bounds");
+    }
+    g
+}
+
+/// Builds a star graph with node 0 at the center.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId::new(0), NodeId::new(i))
+            .expect("star edges are in bounds");
+    }
+    g
+}
+
+/// Builds the complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("complete-graph edges are in bounds");
+        }
+    }
+    g
+}
+
+/// Builds a connected random geometric network.
+///
+/// This is the paper's "random network" model: `n` nodes are placed
+/// uniformly at random in the unit square and two nodes are connected
+/// when their Euclidean distance is at most `range`. If the resulting
+/// graph is disconnected, the components are stitched together by linking
+/// each component to its geometrically nearest already-connected node —
+/// the standard repair that keeps the topology plausible (shortest
+/// possible extra links) while guaranteeing connectivity, which the
+/// paper requires ("make sure the random network is a connected graph").
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, components};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let g = builders::random_geometric(50, 0.2, &mut rng);
+/// assert_eq!(g.node_count(), 50);
+/// assert!(components::is_connected(&g));
+/// ```
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, range: f64, rng: &mut R) -> Graph {
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut g = Graph::new(n);
+    let range2 = range * range;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if dist2(positions[u], positions[v]) <= range2 {
+                g.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("geometric edges are in bounds");
+            }
+        }
+    }
+    connect_components_by_distance(&mut g, &positions);
+    g
+}
+
+/// Builds a connected Erdős–Rényi graph `G(n, p)`.
+///
+/// Used for stress-testing the planners on irregular topologies. As with
+/// [`random_geometric`], disconnected results are repaired, here by
+/// adding a random edge between separate components.
+pub fn erdos_renyi_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("random edges are in bounds");
+            }
+        }
+    }
+    // Repair connectivity: link each non-root component to a random node
+    // of the first component.
+    loop {
+        let comps = components::connected_components(&g);
+        if comps.len() <= 1 {
+            break;
+        }
+        let a = comps[0][rng.gen_range(0..comps[0].len())];
+        let b = comps[1][rng.gen_range(0..comps[1].len())];
+        g.add_edge(a, b).expect("repair edge is in bounds");
+    }
+    g
+}
+
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+fn connect_components_by_distance(g: &mut Graph, positions: &[(f64, f64)]) {
+    loop {
+        let comps = components::connected_components(g);
+        if comps.len() <= 1 {
+            return;
+        }
+        // Join the first component to the globally nearest outside node.
+        let in_first: Vec<bool> = {
+            let mut v = vec![false; g.node_count()];
+            for &n in &comps[0] {
+                v[n.index()] = true;
+            }
+            v
+        };
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for u in g.nodes().filter(|u| in_first[u.index()]) {
+            for v in g.nodes().filter(|v| !in_first[v.index()]) {
+                let d = dist2(positions[u.index()], positions[v.index()]);
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, u, v));
+                }
+            }
+        }
+        let (_, u, v) = best.expect("two components imply a candidate pair");
+        g.add_edge(u, v).expect("repair edge is in bounds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn grid_dimensions_and_degrees() {
+        let g = grid(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 3 * 5);
+        // Corner, edge, interior degrees.
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3);
+        assert_eq!(g.degree(NodeId::new(6)), 4);
+    }
+
+    #[test]
+    fn grid_empty_dimensions() {
+        assert_eq!(grid(0, 5).node_count(), 0);
+        assert_eq!(grid(3, 0).node_count(), 0);
+    }
+
+    #[test]
+    fn path_and_ring_shapes() {
+        let p = path(5);
+        assert_eq!(p.edge_count(), 4);
+        let r = ring(5);
+        assert_eq!(r.edge_count(), 5);
+        for n in r.nodes() {
+            assert_eq!(r.degree(n), 2);
+        }
+        // Tiny rings degenerate to paths.
+        assert_eq!(ring(2).edge_count(), 1);
+        assert_eq!(ring(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_and_complete_shapes() {
+        let s = star(6);
+        assert_eq!(s.degree(NodeId::new(0)), 5);
+        assert_eq!(s.edge_count(), 5);
+        let k = complete(5);
+        assert_eq!(k.edge_count(), 10);
+        for n in k.nodes() {
+            assert_eq!(k.degree(n), 4);
+        }
+    }
+
+    #[test]
+    fn random_geometric_is_connected_even_with_tiny_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = random_geometric(40, 0.01, &mut rng);
+        assert_eq!(g.node_count(), 40);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_geometric_large_range_is_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_geometric(10, 2.0, &mut rng);
+        // Range 2.0 covers the whole unit square: complete graph.
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = erdos_renyi_connected(30, 0.02, &mut rng);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_a_fixed_seed() {
+        let g1 = random_geometric(25, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        let g2 = random_geometric(25, 0.3, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+}

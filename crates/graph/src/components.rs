@@ -1,0 +1,118 @@
+//! Connectivity queries.
+//!
+//! The paper assumes a connected network for planning, and its multi-item
+//! baseline extension repeatedly plans on "the largest connected
+//! component" of a residual subgraph — both supported here.
+
+use crate::{Graph, NodeId};
+
+/// Returns the connected components of `g`, each as a sorted node list.
+///
+/// Components are ordered by their smallest node id, so output is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{components, Graph};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (2, 3)])?;
+/// let comps = components::connected_components(&g);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0].len(), 2);
+/// # Ok::<(), peercache_graph::GraphError>(())
+/// ```
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut comps = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        visited[start] = true;
+        stack.push(NodeId::new(start));
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for v in g.neighbors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Returns `true` if `g` is connected.
+///
+/// The empty graph is considered connected (there is no pair of nodes
+/// that fails to be linked).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+/// Returns the nodes of the largest connected component (ties broken by
+/// smallest node id).
+///
+/// Returns an empty vector for the empty graph.
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    connected_components(g)
+        .into_iter()
+        .max_by(|a, b| a.len().cmp(&b.len()).then(b[0].cmp(&a[0])))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new(0)));
+    }
+
+    #[test]
+    fn single_node_is_connected() {
+        assert!(is_connected(&Graph::new(1)));
+    }
+
+    #[test]
+    fn isolated_nodes_are_separate_components() {
+        let g = Graph::new(3);
+        assert_eq!(connected_components(&g).len(), 3);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        assert!(is_connected(&builders::grid(5, 5)));
+    }
+
+    #[test]
+    fn largest_component_picks_the_bigger_side() {
+        // 0-1-2 and 3-4
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let largest = largest_component(&g);
+        let ids: Vec<usize> = largest.iter().map(|n| n.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn largest_component_tie_breaks_on_smallest_id() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let ids: Vec<usize> = largest_component(&g).iter().map(|n| n.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph_is_empty() {
+        assert!(largest_component(&Graph::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Serialization helpers for debugging and plotting.
+//!
+//! The benchmark harness writes topologies and placements to disk so the
+//! figures can be re-plotted outside Rust; Graphviz DOT output is handy
+//! when eyeballing small grids.
+
+use std::fmt::Write as _;
+
+use crate::{Graph, NodeId};
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// `label` customizes per-node labels (return `None` to fall back to the
+/// node id).
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, export};
+///
+/// let g = builders::path(2);
+/// let dot = export::to_dot(&g, |_| None);
+/// assert!(dot.contains("0 -- 1"));
+/// ```
+pub fn to_dot<F>(g: &Graph, label: F) -> String
+where
+    F: Fn(NodeId) -> Option<String>,
+{
+    let mut out = String::from("graph peercache {\n");
+    for n in g.nodes() {
+        match label(n) {
+            Some(l) => {
+                let _ = writeln!(out, "  {} [label=\"{}\"];", n.index(), l);
+            }
+            None => {
+                let _ = writeln!(out, "  {};", n.index());
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the edge list as CSV with a `u,v` header.
+pub fn to_edge_csv(g: &Graph) -> String {
+    let mut out = String::from("u,v\n");
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{},{}", u.index(), v.index());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_every_edge() {
+        let g = builders::grid(2, 2);
+        let dot = to_dot(&g, |_| None);
+        assert!(dot.starts_with("graph peercache {"));
+        for (u, v) in g.edges() {
+            assert!(dot.contains(&format!("{} -- {};", u.index(), v.index())));
+        }
+    }
+
+    #[test]
+    fn dot_uses_labels_when_given() {
+        let g = builders::path(2);
+        let dot = to_dot(&g, |n| Some(format!("node-{}", n.index())));
+        assert!(dot.contains("label=\"node-0\""));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let g = builders::path(3);
+        let csv = to_edge_csv(&g);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "u,v");
+        assert_eq!(lines.len(), 1 + g.edge_count());
+    }
+}

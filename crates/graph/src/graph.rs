@@ -1,0 +1,403 @@
+use std::fmt;
+
+use crate::GraphError;
+
+/// Dense identifier of a node in a [`Graph`].
+///
+/// Node ids are indices in `0..graph.node_count()`. The newtype prevents
+/// accidentally mixing node ids with chunk ids or other counters in the
+/// caching planners.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::NodeId;
+///
+/// let producer = NodeId::new(9);
+/// assert_eq!(producer.index(), 9);
+/// assert_eq!(producer.to_string(), "9");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An undirected simple graph stored as adjacency lists.
+///
+/// Nodes are dense indices `0..node_count`; edges are unweighted (the
+/// wireless model of the paper attaches all costs to *nodes*, not links,
+/// so weights live in the caching layer).
+///
+/// Neighbor lists are kept sorted, which makes iteration deterministic —
+/// important for reproducible simulations.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{Graph, NodeId};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1))?;
+/// g.add_edge(NodeId::new(1), NodeId::new(2))?;
+///
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.contains_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.contains_edge(NodeId::new(0), NodeId::new(2)));
+/// # Ok::<(), peercache_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `node_count` isolated nodes.
+    pub fn new(node_count: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); node_count],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    ///
+    /// Duplicate edges are ignored; see [`Graph::add_edge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if an endpoint is `>=
+    /// node_count` and [`GraphError::SelfLoop`] for `(u, u)` entries.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use peercache_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])?;
+    /// assert_eq!(g.edge_count(), 3);
+    /// # Ok::<(), peercache_graph::GraphError>(())
+    /// ```
+    pub fn from_edges(node_count: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut g = Graph::new(node_count);
+        for &(u, v) in edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes in the graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges in the graph.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if `node` is a valid index for this graph.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.adjacency.len()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if self.contains_node(node) {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Adding an edge that already exists is a no-op, which keeps random
+    /// topology generators simple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint is not a
+    /// node of this graph, or [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.contains_edge(u, v) {
+            return Ok(());
+        }
+        let (ua, va) = (u.index(), v.index());
+        let pos_u = self.adjacency[ua].binary_search(&v).unwrap_err();
+        self.adjacency[ua].insert(pos_u, v);
+        let pos_v = self.adjacency[va].binary_search(&u).unwrap_err();
+        self.adjacency[va].insert(pos_v, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` exists.
+    ///
+    /// Out-of-bounds endpoints simply yield `false`.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency
+            .get(u.index())
+            .is_some_and(|adj| adj.binary_search(&v).is_ok())
+    }
+
+    /// Degree (number of one-hop neighbors) of `node`.
+    ///
+    /// This is exactly the paper's Node Contention Cost `w_k`: every
+    /// neighbor sends requests through `k`, so contention grows with the
+    /// neighbor count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterates over the neighbors of `node` in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> NeighborIter<'_> {
+        NeighborIter {
+            inner: self.adjacency[node.index()].iter(),
+        }
+    }
+
+    /// Iterates over all nodes of the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            u: 0,
+            pos: 0,
+        }
+    }
+
+    /// Returns the induced subgraph on `keep` together with the mapping
+    /// from new ids to the original ids.
+    ///
+    /// Nodes listed in `keep` receive dense ids `0..keep.len()` in the
+    /// order given; edges of the original graph with both endpoints kept
+    /// are preserved. Used by the multi-item baseline extension, which
+    /// repeatedly re-plans on the residual subgraph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if `keep` mentions an
+    /// unknown node.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use peercache_graph::{builders, NodeId};
+    ///
+    /// let g = builders::path(4); // 0 - 1 - 2 - 3
+    /// let keep = [NodeId::new(1), NodeId::new(2)];
+    /// let (sub, original) = g.induced_subgraph(&keep)?;
+    /// assert_eq!(sub.node_count(), 2);
+    /// assert_eq!(sub.edge_count(), 1);
+    /// assert_eq!(original[1], NodeId::new(2));
+    /// # Ok::<(), peercache_graph::GraphError>(())
+    /// ```
+    pub fn induced_subgraph(
+        &self,
+        keep: &[NodeId],
+    ) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        for &n in keep {
+            self.check_node(n)?;
+        }
+        let mut new_id = vec![usize::MAX; self.node_count()];
+        for (new, &orig) in keep.iter().enumerate() {
+            new_id[orig.index()] = new;
+        }
+        let mut sub = Graph::new(keep.len());
+        for (u, v) in self.edges() {
+            let (nu, nv) = (new_id[u.index()], new_id[v.index()]);
+            if nu != usize::MAX && nv != usize::MAX {
+                sub.add_edge(NodeId::new(nu), NodeId::new(nv))?;
+            }
+        }
+        Ok((sub, keep.to_vec()))
+    }
+}
+
+/// Iterator over the neighbors of a node, created by [`Graph::neighbors`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    inner: std::slice::Iter<'a, NodeId>,
+}
+
+impl<'a> Iterator for NeighborIter<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+/// Iterator over undirected edges, created by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'a> {
+    graph: &'a Graph,
+    u: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for EdgeIter<'a> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.u < self.graph.node_count() {
+            let adj = &self.graph.adjacency[self.u];
+            while self.pos < adj.len() {
+                let v = adj[self.pos];
+                self.pos += 1;
+                if v.index() > self.u {
+                    return Some((NodeId::new(self.u), v));
+                }
+            }
+            self.u += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_graph_has_no_edges() {
+        let g = Graph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 0);
+        }
+    }
+
+    #[test]
+    fn add_edge_is_undirected_and_idempotent() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.contains_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(g.contains_edge(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        let err = g.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut g = Graph::new(2);
+        let err = g.add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = Graph::new(5);
+        for v in [4, 1, 3] {
+            g.add_edge(NodeId::new(0), NodeId::new(v)).unwrap();
+        }
+        let ns: Vec<usize> = g.neighbors(NodeId::new(0)).map(NodeId::index).collect();
+        assert_eq!(ns, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<(usize, usize)> = g
+            .edges()
+            .map(|(u, v)| (u.index(), v.index()))
+            .collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let keep = [NodeId::new(2), NodeId::new(3), NodeId::new(4)];
+        let (sub, orig) = g.induced_subgraph(&keep).unwrap();
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.contains_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(sub.contains_edge(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(orig[0], NodeId::new(2));
+    }
+
+    #[test]
+    fn node_id_conversions_roundtrip() {
+        let id: NodeId = 42usize.into();
+        let back: usize = id.into();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn graph_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Graph>();
+    }
+}

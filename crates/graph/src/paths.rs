@@ -1,0 +1,510 @@
+//! Shortest-path machinery.
+//!
+//! The paper's Path Contention Cost (Eq. 2) sums **node** costs
+//! `w_k (1 + S(k))` along the shortest path between two nodes, so unlike
+//! textbook shortest paths the metric here is node-weighted. This module
+//! provides:
+//!
+//! * [`bfs_hops`] — plain hop distances (the Hop-Count baseline metric),
+//! * [`k_hop_neighborhood`] — the scope of the distributed algorithm's
+//!   local messages,
+//! * [`AllPairsPaths`] — all-pairs node-weighted shortest paths with path
+//!   reconstruction, under either hop-first or cost-first selection.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, GraphError, NodeId};
+
+/// How ties between candidate paths are resolved.
+///
+/// The paper routes packets along the *hop-shortest* path and then sums
+/// contention costs along it ([`PathSelection::FewestHops`], the
+/// default). Selecting the *cheapest* path under the node-cost metric
+/// ([`PathSelection::MinCost`]) is a natural ablation: it can only lower
+/// path costs, at the price of longer routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathSelection {
+    /// Prefer fewer hops; break ties by lower total node cost.
+    #[default]
+    FewestHops,
+    /// Prefer lower total node cost; break ties by fewer hops.
+    MinCost,
+}
+
+/// Hop distances from `src` to every node (`None` when unreachable).
+///
+/// # Panics
+///
+/// Panics if `src` is out of bounds.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, paths, NodeId};
+///
+/// let g = builders::path(4);
+/// let hops = paths::bfs_hops(&g, NodeId::new(0));
+/// assert_eq!(hops[3], Some(3));
+/// ```
+pub fn bfs_hops(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    dist[src.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes within `k` hops of `src`, excluding `src` itself, sorted by id.
+///
+/// This is the reach of the distributed algorithm's local control
+/// messages (the paper limits CC/TIGHT/SPAN/FREEZE exchanges to a k-hop
+/// range, with k = 2 by default).
+///
+/// # Panics
+///
+/// Panics if `src` is out of bounds.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, paths, NodeId};
+///
+/// let g = builders::grid(3, 3);
+/// // Center of the 3x3 grid reaches everything within 2 hops.
+/// let reach = paths::k_hop_neighborhood(&g, NodeId::new(4), 2);
+/// assert_eq!(reach.len(), 8);
+/// ```
+pub fn k_hop_neighborhood(g: &Graph, src: NodeId, k: u32) -> Vec<NodeId> {
+    let hops = bfs_hops(g, src);
+    let mut out: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| v != src && hops[v.index()].is_some_and(|h| h <= k))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// All-pairs node-weighted shortest paths with path reconstruction.
+///
+/// The cost of a (non-trivial) path is the sum of `node_cost` over
+/// **every node on the path, endpoints included** — matching the paper's
+/// reading of Eq. 2 where both the sender and the receiver contend for
+/// the medium. The trivial path from a node to itself has cost 0 (a node
+/// reading its own cache transmits nothing).
+///
+/// Paths are deterministic: among equal candidates the lexicographically
+/// smallest parent is chosen.
+#[derive(Debug, Clone)]
+pub struct AllPairsPaths {
+    n: usize,
+    cost: Vec<f64>,
+    hops: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+}
+
+const UNREACHABLE_HOPS: u32 = u32::MAX;
+
+impl AllPairsPaths {
+    /// Computes all-pairs shortest paths under the node-cost metric.
+    ///
+    /// Runs one deterministic Dijkstra per source with the lexicographic
+    /// key implied by `selection`; `O(N (N + E) log N)` total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if `node_cost` is shorter
+    /// than the node count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use peercache_graph::{builders, paths::{AllPairsPaths, PathSelection}, NodeId};
+    ///
+    /// let g = builders::path(3);
+    /// let costs = vec![1.0, 5.0, 1.0];
+    /// let ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops)?;
+    /// // 0 -> 2 passes through the expensive middle node: 1 + 5 + 1.
+    /// assert_eq!(ap.cost(NodeId::new(0), NodeId::new(2)), 7.0);
+    /// assert_eq!(ap.cost(NodeId::new(1), NodeId::new(1)), 0.0);
+    /// # Ok::<(), peercache_graph::GraphError>(())
+    /// ```
+    pub fn compute(
+        g: &Graph,
+        node_cost: &[f64],
+        selection: PathSelection,
+    ) -> Result<Self, GraphError> {
+        let n = g.node_count();
+        if node_cost.len() < n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: NodeId::new(node_cost.len()),
+                node_count: n,
+            });
+        }
+        let mut ap = AllPairsPaths {
+            n,
+            cost: vec![f64::INFINITY; n * n],
+            hops: vec![UNREACHABLE_HOPS; n * n],
+            parent: vec![None; n * n],
+        };
+        for src in 0..n {
+            ap.single_source(g, node_cost, NodeId::new(src), selection);
+        }
+        Ok(ap)
+    }
+
+    fn single_source(
+        &mut self,
+        g: &Graph,
+        node_cost: &[f64],
+        src: NodeId,
+        selection: PathSelection,
+    ) {
+        let base = src.index() * self.n;
+        let cost = &mut self.cost[base..base + self.n];
+        let hops = &mut self.hops[base..base + self.n];
+        let parent = &mut self.parent[base..base + self.n];
+
+        // Internally the source's own cost is part of every non-trivial
+        // path; we seed with it and subtract nothing — only the diagonal
+        // is special-cased to zero at the end.
+        let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+        cost[src.index()] = node_cost[src.index()];
+        hops[src.index()] = 0;
+        heap.push(Reverse((
+            Key::new(selection, node_cost[src.index()], 0),
+            src.index(),
+        )));
+        let mut settled = vec![false; self.n];
+        while let Some(Reverse((key, u))) = heap.pop() {
+            if settled[u] {
+                continue;
+            }
+            // Stale entries carry a worse key than the settled value.
+            if key != Key::new(selection, cost[u], hops[u]) {
+                continue;
+            }
+            settled[u] = true;
+            for v in g.neighbors(NodeId::new(u)) {
+                let vi = v.index();
+                if settled[vi] {
+                    continue;
+                }
+                let cand_cost = cost[u] + node_cost[vi];
+                let cand_hops = hops[u] + 1;
+                let cand = Key::new(selection, cand_cost, cand_hops);
+                let cur = Key::new(selection, cost[vi], hops[vi]);
+                let better = cand < cur
+                    || (cand == cur
+                        && parent[vi].is_some_and(|p| NodeId::new(u) < p));
+                if better {
+                    cost[vi] = cand_cost;
+                    hops[vi] = cand_hops;
+                    parent[vi] = Some(NodeId::new(u));
+                    heap.push(Reverse((cand, vi)));
+                }
+            }
+        }
+        // Trivial path: no transmission, no cost.
+        cost[src.index()] = 0.0;
+    }
+
+    /// Number of nodes the structure was computed for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Cost of the selected path from `u` to `v` (`f64::INFINITY` when
+    /// unreachable, `0.0` on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn cost(&self, u: NodeId, v: NodeId) -> f64 {
+        self.cost[u.index() * self.n + v.index()]
+    }
+
+    /// Hop length of the selected path (`None` when unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn hops(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        match self.hops[u.index() * self.n + v.index()] {
+            UNREACHABLE_HOPS => None,
+            h => Some(h),
+        }
+    }
+
+    /// Reconstructs the selected path from `u` to `v`, endpoints
+    /// included (`None` when unreachable). `path(u, u)` is `[u]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        self.hops(u, v)?;
+        let mut rev = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = self.parent[u.index() * self.n + cur.index()]
+                .expect("reachable nodes have parents");
+            rev.push(cur);
+        }
+        rev.reverse();
+        Some(rev)
+    }
+}
+
+/// Single-source shortest paths under a per-edge weight closure.
+///
+/// Returns `(cost, parent)` vectors indexed by node; unreachable nodes
+/// have `f64::INFINITY` cost and no parent. Ties are broken by smaller
+/// parent id, so the tree is deterministic.
+///
+/// Negative weights are not supported (weights model transmission costs,
+/// which are nonnegative); a negative weight yields unspecified — but
+/// memory-safe — results, as with any Dijkstra.
+///
+/// # Panics
+///
+/// Panics if `src` is out of bounds.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, paths, NodeId};
+///
+/// let g = builders::ring(4);
+/// let (cost, parent) = paths::dijkstra_edge_weighted(&g, NodeId::new(0), |_, _| 1.0);
+/// assert_eq!(cost[2], 2.0);
+/// assert!(parent[0].is_none());
+/// ```
+pub fn dijkstra_edge_weighted<W>(
+    g: &Graph,
+    src: NodeId,
+    weight: W,
+) -> (Vec<f64>, Vec<Option<NodeId>>)
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let n = g.node_count();
+    let mut cost = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
+    cost[src.index()] = 0.0;
+    heap.push(Reverse((
+        Key {
+            primary: 0.0,
+            secondary: 0.0,
+        },
+        src.index(),
+    )));
+    while let Some(Reverse((key, u))) = heap.pop() {
+        if settled[u] || key.primary != cost[u] {
+            continue;
+        }
+        settled[u] = true;
+        for v in g.neighbors(NodeId::new(u)) {
+            let vi = v.index();
+            if settled[vi] {
+                continue;
+            }
+            let cand = cost[u] + weight(NodeId::new(u), v);
+            let better = cand < cost[vi]
+                || (cand == cost[vi] && parent[vi].is_some_and(|p| NodeId::new(u) < p));
+            if better {
+                cost[vi] = cand;
+                parent[vi] = Some(NodeId::new(u));
+                heap.push(Reverse((
+                    Key {
+                        primary: cand,
+                        secondary: 0.0,
+                    },
+                    vi,
+                )));
+            }
+        }
+    }
+    (cost, parent)
+}
+
+/// Lexicographic Dijkstra key; which component leads depends on the
+/// [`PathSelection`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key {
+    primary: f64,
+    secondary: f64,
+}
+
+impl Key {
+    fn new(selection: PathSelection, cost: f64, hops: u32) -> Self {
+        match selection {
+            PathSelection::FewestHops => Key {
+                primary: f64::from(hops.min(UNREACHABLE_HOPS - 1)),
+                secondary: cost,
+            },
+            PathSelection::MinCost => Key {
+                primary: cost,
+                secondary: f64::from(hops.min(UNREACHABLE_HOPS - 1)),
+            },
+        }
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.primary
+            .total_cmp(&other.primary)
+            .then(self.secondary.total_cmp(&other.secondary))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn unit_costs(g: &Graph) -> Vec<f64> {
+        vec![1.0; g.node_count()]
+    }
+
+    #[test]
+    fn bfs_hops_on_grid() {
+        let g = builders::grid(3, 3);
+        let hops = bfs_hops(&g, NodeId::new(0));
+        assert_eq!(hops[0], Some(0));
+        assert_eq!(hops[8], Some(4)); // opposite corner
+    }
+
+    #[test]
+    fn bfs_hops_unreachable_is_none() {
+        let g = Graph::new(2);
+        let hops = bfs_hops(&g, NodeId::new(0));
+        assert_eq!(hops[1], None);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_grows_with_k() {
+        let g = builders::grid(5, 5);
+        let center = NodeId::new(12);
+        let one = k_hop_neighborhood(&g, center, 1);
+        let two = k_hop_neighborhood(&g, center, 2);
+        assert_eq!(one.len(), 4);
+        assert_eq!(two.len(), 12);
+        assert!(one.iter().all(|n| two.contains(n)));
+    }
+
+    #[test]
+    fn k_zero_neighborhood_is_empty() {
+        let g = builders::grid(3, 3);
+        assert!(k_hop_neighborhood(&g, NodeId::new(4), 0).is_empty());
+    }
+
+    #[test]
+    fn all_pairs_diagonal_is_zero() {
+        let g = builders::grid(3, 3);
+        let ap = AllPairsPaths::compute(&g, &unit_costs(&g), PathSelection::FewestHops).unwrap();
+        for u in g.nodes() {
+            assert_eq!(ap.cost(u, u), 0.0);
+            assert_eq!(ap.hops(u, u), Some(0));
+            assert_eq!(ap.path(u, u), Some(vec![u]));
+        }
+    }
+
+    #[test]
+    fn unit_cost_path_includes_both_endpoints() {
+        let g = builders::path(4);
+        let ap = AllPairsPaths::compute(&g, &unit_costs(&g), PathSelection::FewestHops).unwrap();
+        // 0-1: both endpoints -> cost 2.
+        assert_eq!(ap.cost(NodeId::new(0), NodeId::new(1)), 2.0);
+        assert_eq!(ap.cost(NodeId::new(0), NodeId::new(3)), 4.0);
+    }
+
+    #[test]
+    fn path_reconstruction_matches_hops() {
+        let g = builders::grid(4, 4);
+        let ap = AllPairsPaths::compute(&g, &unit_costs(&g), PathSelection::FewestHops).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let p = ap.path(u, v).expect("grid is connected");
+                assert_eq!(p.len() as u32 - 1, ap.hops(u, v).unwrap());
+                assert_eq!(*p.first().unwrap(), u);
+                assert_eq!(*p.last().unwrap(), v);
+                // Consecutive nodes are adjacent.
+                for w in p.windows(2) {
+                    assert!(g.contains_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_cost_routes_around_expensive_nodes() {
+        // Square 0-1, 0-2, 1-3, 2-3 with node 1 very expensive.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let costs = vec![1.0, 100.0, 1.0, 1.0];
+        let hop_first =
+            AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let cost_first = AllPairsPaths::compute(&g, &costs, PathSelection::MinCost).unwrap();
+        // Both routes are 2 hops; tie broken by cost, so both avoid node 1 here.
+        assert_eq!(hop_first.cost(NodeId::new(0), NodeId::new(3)), 3.0);
+        assert_eq!(cost_first.cost(NodeId::new(0), NodeId::new(3)), 3.0);
+        // Force a detour: connect 0-3 through a longer cheap path.
+        let g2 = Graph::from_edges(5, &[(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)]).unwrap();
+        let costs2 = vec![1.0, 100.0, 1.0, 1.0, 1.0];
+        let hop2 = AllPairsPaths::compute(&g2, &costs2, PathSelection::FewestHops).unwrap();
+        let cost2 = AllPairsPaths::compute(&g2, &costs2, PathSelection::MinCost).unwrap();
+        // Hop-first goes 0-1-3 (cost 102); cost-first goes 0-2-4-3 (cost 4).
+        assert_eq!(hop2.cost(NodeId::new(0), NodeId::new(3)), 102.0);
+        assert_eq!(hop2.hops(NodeId::new(0), NodeId::new(3)), Some(2));
+        assert_eq!(cost2.cost(NodeId::new(0), NodeId::new(3)), 4.0);
+        assert_eq!(cost2.hops(NodeId::new(0), NodeId::new(3)), Some(3));
+    }
+
+    #[test]
+    fn unreachable_pairs_report_infinity() {
+        let g = Graph::new(3); // no edges
+        let ap = AllPairsPaths::compute(&g, &[1.0; 3], PathSelection::FewestHops).unwrap();
+        assert!(ap.cost(NodeId::new(0), NodeId::new(2)).is_infinite());
+        assert_eq!(ap.hops(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(ap.path(NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn cost_matrix_is_symmetric_for_symmetric_metrics() {
+        let g = builders::grid(4, 4);
+        let costs: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64).collect();
+        let ap = AllPairsPaths::compute(&g, &costs, PathSelection::MinCost).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert!((ap.cost(u, v) - ap.cost(v, u)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn short_cost_slice_is_an_error() {
+        let g = builders::grid(2, 2);
+        let err = AllPairsPaths::compute(&g, &[1.0], PathSelection::FewestHops).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,327 @@
+//! Steiner-tree approximation for the dissemination phase.
+//!
+//! Phase 2 of the paper's approximation algorithm connects the selected
+//! caching (ADMIN) nodes and the producer with a Steiner tree, along
+//! which the chunk is disseminated (the `z_en` variables of the ILP).
+//! The paper cites an LP-based 1.55-approximation [25]; as documented in
+//! DESIGN.md we substitute the classical metric-closure MST algorithm
+//! (Kou–Markowsky–Berman), a deterministic 2-approximation:
+//!
+//! 1. build the metric closure over the terminals (edge-weighted
+//!    shortest paths),
+//! 2. take its MST,
+//! 3. expand MST edges into real paths and take the MST of the expanded
+//!    subgraph,
+//! 4. prune non-terminal leaves.
+
+// Index loops below walk several parallel arrays at once; iterator
+// chains would obscure the lockstep structure.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::BTreeSet;
+
+use crate::paths::dijkstra_edge_weighted;
+use crate::{mst, Graph, GraphError, NodeId};
+
+/// A Steiner tree: edges of the host graph connecting all terminals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// Tree edges `(u, v)` with `u < v`, sorted.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// All nodes spanned by the tree (terminals plus Steiner points).
+    pub nodes: Vec<NodeId>,
+    /// Total weight of [`SteinerTree::edges`] under the weight function
+    /// given to [`steiner_tree`].
+    pub cost: f64,
+}
+
+impl SteinerTree {
+    /// A tree with no edges (single- or zero-terminal case).
+    fn trivial(nodes: Vec<NodeId>) -> Self {
+        SteinerTree {
+            edges: Vec::new(),
+            nodes,
+            cost: 0.0,
+        }
+    }
+}
+
+/// Computes an approximate minimum Steiner tree connecting `terminals`.
+///
+/// `weight` gives the cost of each *graph edge*; in the caching problem
+/// this is the Path Contention Cost of the one-hop link, `c_e`. The
+/// returned tree's cost is within 2x of the optimal Steiner tree
+/// (Kou–Markowsky–Berman bound).
+///
+/// Duplicate terminals are allowed and ignored.
+///
+/// # Errors
+///
+/// * [`GraphError::NoTerminals`] if `terminals` is empty.
+/// * [`GraphError::NodeOutOfBounds`] for unknown terminals.
+/// * [`GraphError::Disconnected`] if some terminal cannot reach another.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, steiner, NodeId};
+///
+/// let g = builders::grid(3, 3);
+/// let terminals = [NodeId::new(0), NodeId::new(2), NodeId::new(6)];
+/// let tree = steiner::steiner_tree(&g, &terminals, |_, _| 1.0)?;
+/// // Corner terminals of a 3x3 grid need 4 unit edges.
+/// assert_eq!(tree.cost, 4.0);
+/// # Ok::<(), peercache_graph::GraphError>(())
+/// ```
+pub fn steiner_tree<W>(
+    g: &Graph,
+    terminals: &[NodeId],
+    weight: W,
+) -> Result<SteinerTree, GraphError>
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let uniq: BTreeSet<NodeId> = terminals.iter().copied().collect();
+    if uniq.is_empty() {
+        return Err(GraphError::NoTerminals);
+    }
+    for &t in &uniq {
+        if !g.contains_node(t) {
+            return Err(GraphError::NodeOutOfBounds {
+                node: t,
+                node_count: g.node_count(),
+            });
+        }
+    }
+    let terms: Vec<NodeId> = uniq.into_iter().collect();
+    if terms.len() == 1 {
+        return Ok(SteinerTree::trivial(terms));
+    }
+
+    // Step 1: metric closure restricted to terminals.
+    let mut closure_edges = Vec::new();
+    let mut paths: Vec<(Vec<f64>, Vec<Option<NodeId>>)> = Vec::with_capacity(terms.len());
+    for &t in &terms {
+        paths.push(dijkstra_edge_weighted(g, t, &weight));
+    }
+    for a in 0..terms.len() {
+        for b in (a + 1)..terms.len() {
+            let d = paths[a].0[terms[b].index()];
+            if d.is_infinite() {
+                return Err(GraphError::Disconnected);
+            }
+            closure_edges.push((a, b, d));
+        }
+    }
+
+    // Step 2: MST of the closure.
+    let closure_mst = mst::kruskal(terms.len(), &closure_edges);
+
+    // Step 3: expand closure edges into real paths; collect subgraph.
+    let mut sub_nodes: BTreeSet<NodeId> = terms.iter().copied().collect();
+    let mut sub_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for (a, b, _) in closure_mst {
+        // Walk parents from terms[b] back to terms[a] in the tree rooted
+        // at terms[a].
+        let mut cur = terms[b];
+        while cur != terms[a] {
+            let prev = paths[a].1[cur.index()].expect("finite distance implies a parent");
+            sub_edges.insert(ordered(prev, cur));
+            sub_nodes.insert(cur);
+            sub_nodes.insert(prev);
+            cur = prev;
+        }
+    }
+
+    // Step 4: MST of the expanded subgraph, then prune non-terminal
+    // leaves repeatedly.
+    let node_list: Vec<NodeId> = sub_nodes.iter().copied().collect();
+    let index_of = |n: NodeId| node_list.binary_search(&n).expect("node is in the subgraph");
+    let weighted: Vec<(usize, usize, f64)> = sub_edges
+        .iter()
+        .map(|&(u, v)| (index_of(u), index_of(v), weight(u, v)))
+        .collect();
+    let sub_mst = mst::kruskal(node_list.len(), &weighted);
+
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); node_list.len()];
+    for &(u, v, _) in &sub_mst {
+        adj[u].insert(v);
+        adj[v].insert(u);
+    }
+    let is_terminal: Vec<bool> = node_list
+        .iter()
+        .map(|n| terms.binary_search(n).is_ok())
+        .collect();
+    let mut removed = vec![false; node_list.len()];
+    loop {
+        let mut pruned_any = false;
+        for v in 0..node_list.len() {
+            if !removed[v] && !is_terminal[v] && adj[v].len() <= 1 {
+                if let Some(&u) = adj[v].iter().next() {
+                    adj[u].remove(&v);
+                }
+                adj[v].clear();
+                removed[v] = true;
+                pruned_any = true;
+            }
+        }
+        if !pruned_any {
+            break;
+        }
+    }
+
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut cost = 0.0;
+    for u in 0..node_list.len() {
+        for &v in &adj[u] {
+            if v > u {
+                let e = ordered(node_list[u], node_list[v]);
+                cost += weight(e.0, e.1);
+                edges.push(e);
+            }
+        }
+    }
+    edges.sort_unstable();
+    let nodes: Vec<NodeId> = node_list
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !removed[i])
+        .map(|(_, &n)| n)
+        .collect();
+    Ok(SteinerTree { edges, nodes, cost })
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::mst::UnionFind;
+
+    fn assert_is_tree_spanning(g: &Graph, tree: &SteinerTree, terminals: &[NodeId]) {
+        // Every terminal present.
+        for t in terminals {
+            assert!(tree.nodes.contains(t), "terminal {t} missing from tree");
+        }
+        // Edge count = node count - 1 (a tree), and edges connect all nodes.
+        assert_eq!(tree.edges.len() + 1, tree.nodes.len().max(1));
+        let mut uf = UnionFind::new(g.node_count());
+        for &(u, v) in &tree.edges {
+            assert!(g.contains_edge(u, v), "tree edge must exist in graph");
+            assert!(uf.union(u.index(), v.index()), "cycle in steiner tree");
+        }
+        for t in terminals {
+            assert!(uf.connected(terminals[0].index(), t.index()));
+        }
+    }
+
+    #[test]
+    fn single_terminal_is_trivial() {
+        let g = builders::grid(3, 3);
+        let tree = steiner_tree(&g, &[NodeId::new(4)], |_, _| 1.0).unwrap();
+        assert_eq!(tree.cost, 0.0);
+        assert!(tree.edges.is_empty());
+        assert_eq!(tree.nodes, vec![NodeId::new(4)]);
+    }
+
+    #[test]
+    fn duplicate_terminals_are_deduplicated() {
+        let g = builders::path(3);
+        let tree =
+            steiner_tree(&g, &[NodeId::new(0), NodeId::new(0), NodeId::new(2)], |_, _| 1.0)
+                .unwrap();
+        assert_eq!(tree.cost, 2.0);
+    }
+
+    #[test]
+    fn no_terminals_is_an_error() {
+        let g = builders::path(3);
+        assert_eq!(steiner_tree(&g, &[], |_, _| 1.0), Err(GraphError::NoTerminals));
+    }
+
+    #[test]
+    fn disconnected_terminals_error() {
+        let g = Graph::new(2);
+        let r = steiner_tree(&g, &[NodeId::new(0), NodeId::new(1)], |_, _| 1.0);
+        assert_eq!(r, Err(GraphError::Disconnected));
+    }
+
+    #[test]
+    fn two_terminals_use_shortest_path() {
+        let g = builders::grid(4, 4);
+        let tree = steiner_tree(&g, &[NodeId::new(0), NodeId::new(15)], |_, _| 1.0).unwrap();
+        assert_eq!(tree.cost, 6.0); // manhattan distance in the grid
+        assert_is_tree_spanning(&g, &tree, &[NodeId::new(0), NodeId::new(15)]);
+    }
+
+    #[test]
+    fn steiner_point_is_used_when_beneficial() {
+        // Star: center 0, leaves 1..=3. Terminals are the leaves; the
+        // optimal tree must include the non-terminal center.
+        let g = builders::star(4);
+        let terms = [NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+        let tree = steiner_tree(&g, &terms, |_, _| 1.0).unwrap();
+        assert_eq!(tree.cost, 3.0);
+        assert!(tree.nodes.contains(&NodeId::new(0)));
+        assert_is_tree_spanning(&g, &tree, &terms);
+    }
+
+    #[test]
+    fn non_terminal_leaves_are_pruned() {
+        let g = builders::grid(5, 5);
+        let terms = [NodeId::new(0), NodeId::new(4), NodeId::new(20)];
+        let tree = steiner_tree(&g, &terms, |_, _| 1.0).unwrap();
+        // Every leaf of the tree must be a terminal.
+        for &n in &tree.nodes {
+            let deg = tree
+                .edges
+                .iter()
+                .filter(|&&(u, v)| u == n || v == n)
+                .count();
+            if deg <= 1 {
+                assert!(terms.contains(&n), "non-terminal leaf {n} not pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_edge_weights() {
+        // Path 0-1-2 plus shortcut 0-2; shortcut is expensive.
+        let mut g = builders::path(3);
+        g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
+        let weight = |u: NodeId, v: NodeId| {
+            if (u.index(), v.index()) == (0, 2) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let tree = steiner_tree(&g, &[NodeId::new(0), NodeId::new(2)], weight).unwrap();
+        assert_eq!(tree.cost, 2.0); // via node 1
+        assert!(tree.nodes.contains(&NodeId::new(1)));
+    }
+
+    #[test]
+    fn spanning_all_nodes_costs_at_most_mst() {
+        let g = builders::grid(4, 4);
+        let all: Vec<NodeId> = g.nodes().collect();
+        let tree = steiner_tree(&g, &all, |_, _| 1.0).unwrap();
+        // With every node a terminal the Steiner tree IS a spanning tree.
+        assert_eq!(tree.edges.len(), g.node_count() - 1);
+        assert_eq!(tree.cost, (g.node_count() - 1) as f64);
+    }
+
+    #[test]
+    fn out_of_bounds_terminal_is_an_error() {
+        let g = builders::path(3);
+        let r = steiner_tree(&g, &[NodeId::new(0), NodeId::new(9)], |_, _| 1.0);
+        assert!(matches!(r, Err(GraphError::NodeOutOfBounds { .. })));
+    }
+}

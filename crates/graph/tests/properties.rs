@@ -1,0 +1,177 @@
+//! Property-based tests of the graph substrate on randomized inputs.
+
+use proptest::prelude::*;
+
+use peercache_graph::mst::{kruskal, prim, UnionFind};
+use peercache_graph::paths::{
+    bfs_hops, dijkstra_edge_weighted, k_hop_neighborhood, AllPairsPaths, PathSelection,
+};
+use peercache_graph::{analysis, builders, components, steiner, Graph, NodeId};
+
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40, 0u64..1000, prop_oneof![Just(0.05f64), Just(0.15), Just(0.4)]).prop_map(
+        |(n, seed, p)| {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            builders::erdos_renyi_connected(n, p, &mut rng)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_graphs_are_connected_simple(g in connected_graph()) {
+        prop_assert!(components::is_connected(&g));
+        // Simple: no self-loops, each edge listed once with u < v.
+        let edges: Vec<_> = g.edges().collect();
+        for &(u, v) in &edges {
+            prop_assert!(u < v);
+        }
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), edges.len());
+        prop_assert_eq!(edges.len(), g.edge_count());
+    }
+
+    #[test]
+    fn bfs_satisfies_the_triangle_property(g in connected_graph()) {
+        // Distances differ by at most 1 across an edge.
+        let hops = bfs_hops(&g, NodeId::new(0));
+        for (u, v) in g.edges() {
+            let du = hops[u.index()].unwrap();
+            let dv = hops[v.index()].unwrap();
+            prop_assert!(du.abs_diff(dv) <= 1);
+        }
+    }
+
+    #[test]
+    fn k_hop_neighborhoods_are_nested(g in connected_graph()) {
+        let src = NodeId::new(0);
+        let mut prev: Vec<NodeId> = Vec::new();
+        for k in 1..=4 {
+            let cur = k_hop_neighborhood(&g, src, k);
+            for n in &prev {
+                prop_assert!(cur.contains(n), "k-hop sets must be nested");
+            }
+            prev = cur;
+        }
+        // At the diameter everything is reachable.
+        let all = k_hop_neighborhood(&g, src, g.node_count() as u32);
+        prop_assert_eq!(all.len(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn all_pairs_agrees_with_single_source_dijkstra(g in connected_graph()) {
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + (n.index() % 4) as f64).collect();
+        let ap = AllPairsPaths::compute(&g, &costs, PathSelection::MinCost).unwrap();
+        // Node-weighted path cost == edge-weighted cost under the
+        // half-sum transform plus both endpoint terms.
+        let src = NodeId::new(0);
+        let (edge_costs, _) = dijkstra_edge_weighted(&g, src, |u, v| {
+            (costs[u.index()] + costs[v.index()]) / 2.0
+        });
+        for v in g.nodes() {
+            if v == src { continue; }
+            let expected = edge_costs[v.index()]
+                + (costs[src.index()] + costs[v.index()]) / 2.0;
+            prop_assert!((ap.cost(src, v) - expected).abs() < 1e-6,
+                "node {v}: {} vs {}", ap.cost(src, v), expected);
+        }
+    }
+
+    #[test]
+    fn path_costs_match_reconstructed_paths(g in connected_graph()) {
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + (n.index() % 3) as f64).collect();
+        let ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        for u in g.nodes().take(5) {
+            for v in g.nodes().take(5) {
+                let path = ap.path(u, v).unwrap();
+                let sum: f64 = if u == v {
+                    0.0
+                } else {
+                    path.iter().map(|n| costs[n.index()]).sum()
+                };
+                prop_assert!((ap.cost(u, v) - sum).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mst_algorithms_agree_and_span(g in connected_graph()) {
+        let weight = |u: NodeId, v: NodeId| {
+            let (a, b) = (u.index().min(v.index()), u.index().max(v.index()));
+            1.0 + ((a * 31 + b * 17) % 13) as f64
+        };
+        let p = prim(&g, weight).unwrap();
+        prop_assert_eq!(p.len(), g.node_count() - 1);
+        let edges: Vec<(usize, usize, f64)> = g
+            .edges()
+            .map(|(u, v)| (u.index(), v.index(), weight(u, v)))
+            .collect();
+        let k = kruskal(g.node_count(), &edges);
+        let pw: f64 = p.iter().map(|&(u, v)| weight(u, v)).sum();
+        let kw: f64 = k.iter().map(|e| e.2).sum();
+        prop_assert!((pw - kw).abs() < 1e-9);
+        // Spanning: union-find over prim edges joins everyone.
+        let mut uf = UnionFind::new(g.node_count());
+        for (u, v) in p {
+            uf.union(u.index(), v.index());
+        }
+        prop_assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn steiner_interpolates_between_path_and_mst(g in connected_graph()) {
+        let weight = |_: NodeId, _: NodeId| 1.0;
+        let all: Vec<NodeId> = g.nodes().collect();
+        let spanning = steiner::steiner_tree(&g, &all, weight).unwrap();
+        prop_assert_eq!(spanning.edges.len(), g.node_count() - 1);
+        let some: Vec<NodeId> = all.iter().copied().step_by(3).collect();
+        let partial = steiner::steiner_tree(&g, &some, weight).unwrap();
+        // A subset of terminals never needs a costlier tree than the
+        // full spanning tree.
+        prop_assert!(partial.cost <= spanning.cost + 1e-9);
+        // And at least the terminals minus one edges' worth of cost is
+        // needed if they are distinct components... sanity: tree is
+        // large enough to touch every terminal.
+        prop_assert!(partial.nodes.len() >= some.len());
+    }
+
+    #[test]
+    fn betweenness_is_nonnegative_and_bounded(g in connected_graph()) {
+        for c in analysis::betweenness(&g) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_eccentricities(g in connected_graph()) {
+        let ecc = analysis::eccentricities(&g).unwrap();
+        let d = analysis::diameter(&g).unwrap();
+        let r = analysis::radius(&g).unwrap();
+        prop_assert!(r <= d);
+        prop_assert!(d <= 2 * r, "diameter at most twice the radius");
+        for e in ecc {
+            prop_assert!(e >= r && e <= d);
+        }
+        let apl = analysis::average_path_length(&g).unwrap();
+        prop_assert!(apl <= f64::from(d));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in connected_graph()) {
+        let keep: Vec<NodeId> = g.nodes().step_by(2).collect();
+        let (sub, originals) = g.induced_subgraph(&keep).unwrap();
+        for u in 0..sub.node_count() {
+            for v in (u + 1)..sub.node_count() {
+                prop_assert_eq!(
+                    sub.contains_edge(NodeId::new(u), NodeId::new(v)),
+                    g.contains_edge(originals[u], originals[v])
+                );
+            }
+        }
+    }
+}

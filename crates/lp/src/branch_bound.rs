@@ -1,0 +1,268 @@
+//! Branch-and-bound MILP solver on top of the simplex relaxation.
+//!
+//! Standard depth-first branch-and-bound: solve the LP relaxation, pick
+//! the most fractional integer variable, branch on `floor`/`ceil`
+//! bounds, prune by the incumbent. Good enough to certify the caching
+//! ILP optimum on the small instances the paper's brute-force baseline
+//! covers.
+
+use crate::model::{Model, Sense, VarId};
+use crate::simplex::{solve_lp, LpSolution};
+use crate::LpError;
+
+/// Tuning knobs for [`solve_milp`].
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Maximum number of branch-and-bound nodes before giving up with
+    /// [`LpError::NodeLimit`].
+    pub max_nodes: usize,
+    /// Tolerance within which a relaxation value counts as integral.
+    pub int_tol: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        MilpOptions {
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// Solves a mixed-integer linear program to optimality.
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] when no integral point satisfies the model.
+/// * [`LpError::Unbounded`] when the relaxation is unbounded.
+/// * [`LpError::NodeLimit`] when `opts.max_nodes` is exhausted before
+///   optimality is proven.
+/// * [`LpError::InvalidModel`] if validation fails.
+///
+/// # Example
+///
+/// ```
+/// use peercache_lp::{solve_milp, Model, Relation, Sense};
+///
+/// // Knapsack: max 10a + 6b + 4c, 5a + 4b + 3c <= 10, binary.
+/// let mut m = Model::new(Sense::Maximize);
+/// let a = m.add_binary_var("a", 10.0);
+/// let b = m.add_binary_var("b", 6.0);
+/// let c = m.add_binary_var("c", 4.0);
+/// m.add_constraint(vec![(a, 5.0), (b, 4.0), (c, 3.0)], Relation::Le, 10.0);
+/// let sol = solve_milp(&m, &Default::default())?;
+/// assert!((sol.objective - 16.0).abs() < 1e-6);
+/// # Ok::<(), peercache_lp::LpError>(())
+/// ```
+pub fn solve_milp(model: &Model, opts: &MilpOptions) -> Result<LpSolution, LpError> {
+    model.validate()?;
+    let sense = model.sense();
+    let int_vars: Vec<VarId> = (0..model.var_count())
+        .map(VarId)
+        .filter(|&v| model.is_integer(v))
+        .collect();
+
+    let mut stack: Vec<Model> = vec![model.clone()];
+    let mut incumbent: Option<LpSolution> = None;
+    let mut nodes = 0usize;
+    let mut any_feasible_relaxation = false;
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > opts.max_nodes {
+            return Err(LpError::NodeLimit);
+        }
+        let relax = match solve_lp(&node) {
+            Ok(sol) => sol,
+            Err(LpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        any_feasible_relaxation = true;
+        // Bound pruning: the relaxation is at least as good as any
+        // integral descendant, so a bound no better than the incumbent
+        // kills the subtree.
+        if let Some(best) = &incumbent {
+            let improves = match sense {
+                Sense::Minimize => relax.objective < best.objective - 1e-9,
+                Sense::Maximize => relax.objective > best.objective + 1e-9,
+            };
+            if !improves {
+                continue;
+            }
+        }
+        // Most fractional integer variable.
+        let fractional = int_vars
+            .iter()
+            .map(|&v| {
+                let x = relax.value(v);
+                (v, x, (x - x.round()).abs())
+            })
+            .filter(|&(_, _, frac)| frac > opts.int_tol)
+            .max_by(|a, b| a.2.total_cmp(&b.2));
+        match fractional {
+            None => {
+                // Integral point: snap and accept as incumbent.
+                let mut values = relax.values().to_vec();
+                for &v in &int_vars {
+                    values[v.index()] = values[v.index()].round();
+                }
+                let objective = model.objective_value(&values);
+                let replace = incumbent.as_ref().is_none_or(|best| match sense {
+                    Sense::Minimize => objective < best.objective - 1e-9,
+                    Sense::Maximize => objective > best.objective + 1e-9,
+                });
+                if replace {
+                    incumbent = Some(LpSolution { objective, values });
+                }
+            }
+            Some((v, x, _)) => {
+                let (lo, hi) = node.bounds(v);
+                // Children with crossed bounds are infeasible by
+                // construction and are simply not generated.
+                if x.floor() >= lo {
+                    let mut down = node.clone();
+                    down.set_bounds(v, lo, x.floor());
+                    stack.push(down);
+                }
+                if x.ceil() <= hi {
+                    let mut up = node;
+                    up.set_bounds(v, x.ceil(), hi);
+                    // Explore the "up" branch first: facility indicators
+                    // at 1 tend to reach integral solutions faster.
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some(sol) => Ok(sol),
+        None if any_feasible_relaxation => Err(LpError::Infeasible),
+        None => Err(LpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Relation, Sense};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn pure_lp_passes_through() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 3.5, 1.0);
+        let sol = solve_milp(&m, &Default::default()).unwrap();
+        assert!(close(sol.value(x), 3.5));
+    }
+
+    #[test]
+    fn integrality_forces_rounding_down() {
+        // max x, x <= 3.7, integer => 3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer_var("x", 0.0, 10.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Le, 3.7);
+        let sol = solve_milp(&m, &Default::default()).unwrap();
+        assert!(close(sol.value(x), 3.0));
+    }
+
+    #[test]
+    fn knapsack_with_lp_gap() {
+        // LP relaxation is fractional; ILP optimum differs from greedy.
+        // max 5a + 4b + 3c, 4a + 3b + 2c <= 5, binary => b + c = 7.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary_var("a", 5.0);
+        let b = m.add_binary_var("b", 4.0);
+        let c = m.add_binary_var("c", 3.0);
+        m.add_constraint(vec![(a, 4.0), (b, 3.0), (c, 2.0)], Relation::Le, 5.0);
+        let sol = solve_milp(&m, &Default::default()).unwrap();
+        assert!(close(sol.objective, 7.0));
+        assert!(close(sol.value(a), 0.0));
+        assert!(close(sol.value(b), 1.0));
+        assert!(close(sol.value(c), 1.0));
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6, integer: no integral point.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_integer_var("x", 0.4, 0.6, 1.0);
+        let _ = x;
+        assert!(matches!(solve_milp(&m, &Default::default()), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn mixed_continuous_and_integer() {
+        // min y s.t. y >= 2.5 n, n >= 1 integer.
+        let mut m = Model::new(Sense::Minimize);
+        let n = m.add_integer_var("n", 1.0, 10.0, 0.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(y, 1.0), (n, -2.5)], Relation::Ge, 0.0);
+        let sol = solve_milp(&m, &Default::default()).unwrap();
+        assert!(close(sol.value(n), 1.0));
+        assert!(close(sol.value(y), 2.5));
+    }
+
+    #[test]
+    fn facility_location_toy() {
+        // Two facilities (open cost 3 and 1), three clients; assignment
+        // costs chosen so optimum opens only facility 1.
+        // min 3y0 + 1y1 + sum c_ij x_ij
+        let cost = [[1.0, 2.0], [1.0, 2.0], [5.0, 1.0]];
+        let mut m = Model::new(Sense::Minimize);
+        let y0 = m.add_binary_var("y0", 3.0);
+        let y1 = m.add_binary_var("y1", 1.0);
+        let ys = [y0, y1];
+        let mut xs = Vec::new();
+        for (j, row) in cost.iter().enumerate() {
+            let mut terms = Vec::new();
+            for (i, &c) in row.iter().enumerate() {
+                let x = m.add_binary_var(format!("x{j}{i}"), c);
+                terms.push((x, 1.0));
+                // x_ij <= y_i
+                m.add_constraint(vec![(x, 1.0), (ys[i], -1.0)], Relation::Le, 0.0);
+                xs.push(x);
+            }
+            m.add_constraint(terms, Relation::Eq, 1.0);
+        }
+        let sol = solve_milp(&m, &Default::default()).unwrap();
+        // Open both: 3+1+1+1+1 = 7; open only f1: 1+2+2+1 = 6; only f0: 3+1+1+5=10.
+        assert!(close(sol.objective, 6.0));
+        assert!(close(sol.value(y1), 1.0));
+        assert!(close(sol.value(y0), 0.0));
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut m = Model::new(Sense::Maximize);
+        let mut terms = Vec::new();
+        for i in 0..12 {
+            let v = m.add_binary_var(format!("v{i}"), 1.0 + (i as f64) * 0.01);
+            terms.push((v, 2.0 + (i as f64 % 3.0)));
+        }
+        m.add_constraint(terms, Relation::Le, 13.5);
+        let opts = MilpOptions {
+            max_nodes: 2,
+            ..Default::default()
+        };
+        assert!(matches!(solve_milp(&m, &opts), Err(LpError::NodeLimit)));
+    }
+
+    #[test]
+    fn incumbent_solution_is_feasible_and_integral() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary_var("a", 2.0);
+        let b = m.add_binary_var("b", 3.0);
+        let c = m.add_binary_var("c", 4.0);
+        m.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Relation::Ge, 2.0);
+        let sol = solve_milp(&m, &Default::default()).unwrap();
+        assert!(m.is_feasible(sol.values(), 1e-6));
+        for v in sol.values() {
+            assert!((v - v.round()).abs() < 1e-9);
+        }
+        assert!(close(sol.objective, 5.0));
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LP/MILP solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The pivot loop exceeded its iteration budget — numerically
+    /// degenerate input.
+    IterationLimit,
+    /// Branch-and-bound exceeded its node budget before proving
+    /// optimality.
+    NodeLimit,
+    /// The model is malformed (e.g. a variable with `lower > upper`, or
+    /// a NaN coefficient).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "model is infeasible"),
+            LpError::Unbounded => write!(f, "model is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::NodeLimit => write!(f, "branch-and-bound node limit exceeded"),
+            LpError::InvalidModel(why) => write!(f, "invalid model: {why}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(LpError::Infeasible.to_string(), "model is infeasible");
+        assert!(LpError::InvalidModel("bad bound".into())
+            .to_string()
+            .contains("bad bound"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

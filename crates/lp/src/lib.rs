@@ -1,0 +1,48 @@
+//! A small, dependency-free linear and mixed-integer programming solver.
+//!
+//! The paper obtains its optimal baseline ("Brtf") by feeding the ILP
+//! formulation to PuLP. Rust has no mature pure-Rust ILP solver to lean
+//! on (the reproduction notes call the solver bindings "thin"), so this
+//! crate implements the needed machinery from scratch:
+//!
+//! * [`Model`] — an LP/MILP model builder (variables with bounds,
+//!   linear constraints, minimize/maximize objective).
+//! * [`solve_lp`] — a dense two-phase primal simplex with Bland's rule.
+//! * [`solve_milp`] — branch-and-bound on top of the LP relaxation.
+//!
+//! The solver is deliberately simple and dense: the exact baseline only
+//! ever runs on small instances (the paper itself reports brute force
+//! "fails to obtain results within meaningful time" beyond ~25 nodes),
+//! so clarity and correctness win over sparse-matrix sophistication.
+//!
+//! # Example
+//!
+//! ```
+//! use peercache_lp::{Model, Relation, Sense};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2, x,y >= 0
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+//! m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! m.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+//!
+//! let sol = peercache_lp::solve_lp(&m)?;
+//! assert!((sol.objective - 10.0).abs() < 1e-6);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-6);
+//! # Ok::<(), peercache_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod model;
+mod simplex;
+mod writer;
+
+pub use branch_bound::{solve_milp, MilpOptions};
+pub use error::LpError;
+pub use model::{Model, Relation, Sense, VarId};
+pub use simplex::{solve_lp, LpSolution};

@@ -1,0 +1,523 @@
+//! Dense two-phase primal simplex.
+//!
+//! General bounds are normalized away first (shift / flip / split), so
+//! the tableau only ever sees `x >= 0` variables plus explicit
+//! upper-bound rows. Phase 1 minimizes artificial infeasibility; phase 2
+//! optimizes the real objective with artificial columns barred from
+//! entering. Bland's rule guarantees termination on degenerate inputs.
+
+// Index loops below walk several parallel arrays at once; iterator
+// chains would obscure the lockstep structure.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{Constraint, Model, Relation, Sense, VarId};
+use crate::LpError;
+
+const EPS: f64 = 1e-9;
+const MAX_ITERATIONS: usize = 500_000;
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Objective value at the optimum, in the model's original sense.
+    pub objective: f64,
+    pub(crate) values: Vec<f64>,
+}
+
+impl LpSolution {
+    /// Value of a variable at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// How each original variable maps onto nonnegative tableau columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = x' + lower`, plus an upper-bound row when `upper` is finite.
+    Shift { col: usize, lower: f64 },
+    /// `x = upper - x'` (used when only the upper bound is finite).
+    Flip { col: usize, upper: f64 },
+    /// `x = x⁺ - x⁻` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+/// Solves the LP relaxation of `model` (integrality flags are ignored).
+///
+/// # Errors
+///
+/// * [`LpError::Infeasible`] / [`LpError::Unbounded`] for the usual
+///   outcomes.
+/// * [`LpError::InvalidModel`] if [`Model::validate`] fails.
+/// * [`LpError::IterationLimit`] on pathological numerical inputs.
+///
+/// # Example
+///
+/// ```
+/// use peercache_lp::{Model, Relation, Sense};
+///
+/// // minimize x + y  s.t.  x + 2y >= 3, 3x + y >= 4
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+/// let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+/// m.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Ge, 3.0);
+/// m.add_constraint(vec![(x, 3.0), (y, 1.0)], Relation::Ge, 4.0);
+/// let sol = peercache_lp::solve_lp(&m)?;
+/// assert!((sol.objective - 2.0).abs() < 1e-6);
+/// # Ok::<(), peercache_lp::LpError>(())
+/// ```
+pub fn solve_lp(model: &Model) -> Result<LpSolution, LpError> {
+    model.validate()?;
+    let n = model.var_count();
+
+    // --- Normalize variables to x' >= 0. ---
+    let mut maps = Vec::with_capacity(n);
+    let mut cols = 0usize;
+    let lower = model.lower_bounds();
+    let upper = model.upper_bounds();
+    for i in 0..n {
+        let map = if lower[i].is_finite() {
+            let m = VarMap::Shift {
+                col: cols,
+                lower: lower[i],
+            };
+            cols += 1;
+            m
+        } else if upper[i].is_finite() {
+            let m = VarMap::Flip {
+                col: cols,
+                upper: upper[i],
+            };
+            cols += 1;
+            m
+        } else {
+            let m = VarMap::Split {
+                pos: cols,
+                neg: cols + 1,
+            };
+            cols += 2;
+            m
+        };
+        maps.push(map);
+    }
+
+    // --- Assemble rows: original constraints + finite-range bound rows. ---
+    struct Row {
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push_constraint = |c: &Constraint| {
+        let mut coeffs = vec![0.0; cols];
+        let mut rhs = c.rhs;
+        for &(v, coeff) in &c.terms {
+            match maps[v.index()] {
+                VarMap::Shift { col, lower } => {
+                    coeffs[col] += coeff;
+                    rhs -= coeff * lower;
+                }
+                VarMap::Flip { col, upper } => {
+                    coeffs[col] -= coeff;
+                    rhs -= coeff * upper;
+                }
+                VarMap::Split { pos, neg } => {
+                    coeffs[pos] += coeff;
+                    coeffs[neg] -= coeff;
+                }
+            }
+        }
+        rows.push(Row {
+            coeffs,
+            relation: c.relation,
+            rhs,
+        });
+    };
+    for c in model.constraints() {
+        push_constraint(c);
+    }
+    for i in 0..n {
+        if let VarMap::Shift { col, lower } = maps[i] {
+            if upper[i].is_finite() && upper[i] - lower > 0.0 {
+                let mut coeffs = vec![0.0; cols];
+                coeffs[col] = 1.0;
+                rows.push(Row {
+                    coeffs,
+                    relation: Relation::Le,
+                    rhs: upper[i] - lower,
+                });
+            } else if upper[i].is_finite() {
+                // Fixed variable: x' == 0; row forces it explicitly.
+                let mut coeffs = vec![0.0; cols];
+                coeffs[col] = 1.0;
+                rows.push(Row {
+                    coeffs,
+                    relation: Relation::Eq,
+                    rhs: 0.0,
+                });
+            }
+        }
+    }
+
+    // --- Transformed objective (phase 2), constants dropped. ---
+    let mut c_struct = vec![0.0; cols];
+    for i in 0..n {
+        let coeff = model.objective_coeffs()[i];
+        match maps[i] {
+            VarMap::Shift { col, .. } => c_struct[col] += coeff,
+            VarMap::Flip { col, .. } => c_struct[col] -= coeff,
+            VarMap::Split { pos, neg } => {
+                c_struct[pos] += coeff;
+                c_struct[neg] -= coeff;
+            }
+        }
+    }
+    if model.sense() == Sense::Maximize {
+        for c in &mut c_struct {
+            *c = -*c;
+        }
+    }
+
+    // --- Build the tableau with slacks/artificials. ---
+    let m_rows = rows.len();
+    let mut num_slack = 0usize;
+    let mut num_artificial = 0usize;
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            for c in &mut row.coeffs {
+                *c = -*c;
+            }
+            row.rhs = -row.rhs;
+            row.relation = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+        match row.relation {
+            Relation::Le => num_slack += 1,
+            Relation::Ge => {
+                num_slack += 1;
+                num_artificial += 1;
+            }
+            Relation::Eq => num_artificial += 1,
+        }
+    }
+    let total = cols + num_slack + num_artificial;
+    let art_start = cols + num_slack;
+    let mut a = vec![vec![0.0; total]; m_rows];
+    let mut b = vec![0.0; m_rows];
+    let mut basis = vec![usize::MAX; m_rows];
+    let mut slack_idx = cols;
+    let mut art_idx = art_start;
+    for (r, row) in rows.iter().enumerate() {
+        a[r][..cols].copy_from_slice(&row.coeffs);
+        b[r] = row.rhs;
+        match row.relation {
+            Relation::Le => {
+                a[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                a[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    // --- Phase 1. ---
+    if num_artificial > 0 {
+        let mut c1 = vec![0.0; total];
+        for j in art_start..total {
+            c1[j] = 1.0;
+        }
+        let obj = run_simplex(&mut a, &mut b, &mut basis, &c1, total)?;
+        if obj > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Pivot remaining artificial basics out where possible.
+        for r in 0..m_rows {
+            if basis[r] >= art_start {
+                if let Some(j) = (0..art_start).find(|&j| a[r][j].abs() > EPS) {
+                    pivot(&mut a, &mut b, &mut basis, r, j);
+                }
+            }
+        }
+    }
+
+    // --- Phase 2 (artificials barred by the `limit` argument). ---
+    let mut c2 = vec![0.0; total];
+    c2[..cols].copy_from_slice(&c_struct);
+    run_simplex(&mut a, &mut b, &mut basis, &c2, art_start)?;
+
+    // --- Extract the solution. ---
+    let mut xprime = vec![0.0; total];
+    for r in 0..m_rows {
+        xprime[basis[r]] = b[r];
+    }
+    let mut values = vec![0.0; n];
+    for i in 0..n {
+        values[i] = match maps[i] {
+            VarMap::Shift { col, lower } => xprime[col] + lower,
+            VarMap::Flip { col, upper } => upper - xprime[col],
+            VarMap::Split { pos, neg } => xprime[pos] - xprime[neg],
+        };
+    }
+    let objective = model.objective_value(&values);
+    Ok(LpSolution { objective, values })
+}
+
+/// Runs the simplex loop on the current tableau; columns `>= limit`
+/// may not enter the basis. Returns the phase objective value.
+fn run_simplex(
+    a: &mut [Vec<f64>],
+    b: &mut [f64],
+    basis: &mut [usize],
+    c: &[f64],
+    limit: usize,
+) -> Result<f64, LpError> {
+    let m = a.len();
+    for _ in 0..MAX_ITERATIONS {
+        // Reduced costs r_j = c_j - c_B B^{-1} A_j; Bland entering rule.
+        let mut entering = None;
+        for j in 0..limit {
+            let mut rj = c[j];
+            for i in 0..m {
+                let cb = c[basis[i]];
+                if cb != 0.0 {
+                    rj -= cb * a[i][j];
+                }
+            }
+            if rj < -1e-7 {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let obj: f64 = (0..m).map(|i| c[basis[i]] * b[i]).sum();
+            return Ok(obj);
+        };
+        // Ratio test with Bland tie-breaking on the leaving basic index.
+        let mut leave: Option<(f64, usize)> = None;
+        for i in 0..m {
+            if a[i][j] > EPS {
+                let ratio = b[i] / a[i][j];
+                let better = match leave {
+                    None => true,
+                    Some((best, row)) => {
+                        ratio < best - EPS
+                            || (ratio < best + EPS && basis[i] < basis[row])
+                    }
+                };
+                if better {
+                    leave = Some((ratio, i));
+                }
+            }
+        }
+        let Some((_, r)) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(a, b, basis, r, j);
+    }
+    Err(LpError::IterationLimit)
+}
+
+fn pivot(a: &mut [Vec<f64>], b: &mut [f64], basis: &mut [usize], r: usize, j: usize) {
+    let m = a.len();
+    let p = a[r][j];
+    for val in a[r].iter_mut() {
+        *val /= p;
+    }
+    b[r] /= p;
+    for i in 0..m {
+        if i == r {
+            continue;
+        }
+        let factor = a[i][j];
+        if factor.abs() <= EPS {
+            continue;
+        }
+        // Split borrows: copy the pivot row once per elimination.
+        let pivot_row = a[r].clone();
+        for (val, pv) in a[i].iter_mut().zip(&pivot_row) {
+            *val -= factor * pv;
+        }
+        b[i] -= factor * b[r];
+        if b[i].abs() < EPS {
+            b[i] = 0.0;
+        }
+    }
+    basis[r] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Model, Relation, Sense};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn maximization_with_le_rows() {
+        // Classic: max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 5.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        m.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        m.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.objective, 36.0));
+        assert!(close(sol.value(x), 2.0));
+        assert!(close(sol.value(y), 6.0));
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase_one() {
+        // min 2x + 3y, x + y >= 10, x >= 3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Ge, 3.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.objective, 20.0));
+        assert!(close(sol.value(x), 10.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y with x + y == 5, x - y == 1  =>  x=3, y=2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.value(x), 3.0));
+        assert!(close(sol.value(y), 2.0));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint(vec![(x, 1.0)], Relation::Ge, 5.0);
+        assert!(matches!(solve_lp(&m), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, -1.0)], Relation::Le, 1.0);
+        assert!(matches!(solve_lp(&m), Err(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, 2.5, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.value(x), 2.5));
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x >= -4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", -4.0, f64::INFINITY, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.value(x), -4.0));
+    }
+
+    #[test]
+    fn flip_only_upper_bound() {
+        // max x with x <= 7 and x free below.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", f64::NEG_INFINITY, 7.0, 1.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.value(x), 7.0));
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |ish|: min y s.t. y >= x - 3, y >= 3 - x with x free: optimum y=0 at x=3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(y, 1.0), (x, -1.0)], Relation::Ge, -3.0);
+        m.add_constraint(vec![(y, 1.0), (x, 1.0)], Relation::Ge, 3.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.objective, 0.0));
+        assert!(close(sol.value(x), 3.0));
+    }
+
+    #[test]
+    fn fixed_variable_bounds() {
+        // x fixed at 2 via lower == upper.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 2.0, 2.0, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.value(x), 2.0));
+        assert!(close(sol.value(y), 3.0));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        for k in 1..=6 {
+            m.add_constraint(vec![(x, k as f64), (y, k as f64)], Relation::Le, 4.0 * k as f64);
+        }
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.objective, 4.0));
+    }
+
+    #[test]
+    fn solution_is_feasible_for_the_model() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, 10.0, 3.0);
+        let y = m.add_var("y", 1.0, 8.0, 1.0);
+        let z = m.add_var("z", 0.0, 5.0, 2.0);
+        m.add_constraint(vec![(x, 1.0), (y, 2.0), (z, 1.0)], Relation::Ge, 6.0);
+        m.add_constraint(vec![(x, 1.0), (z, -1.0)], Relation::Le, 2.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(m.is_feasible(sol.values(), 1e-6));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2  (i.e. y >= x + 2)
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 0.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, -2.0);
+        let sol = solve_lp(&m).unwrap();
+        assert!(close(sol.value(y), 2.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the LP/MILP solver on random instances.
+
+use proptest::prelude::*;
+
+use peercache_lp::{solve_lp, solve_milp, Model, Relation, Sense};
+
+/// A random bounded-feasible LP: maximize a nonnegative objective over
+/// `x ∈ [0, ub]` with `<=` packing rows (always feasible at x = 0,
+/// always bounded by the box).
+fn packing_lp() -> impl Strategy<Value = Model> {
+    (
+        2usize..7,
+        1usize..6,
+        prop::collection::vec(0.0f64..5.0, 2 * 7 + 6 * 7),
+    )
+        .prop_map(|(nvars, nrows, coeffs)| {
+            let mut m = Model::new(Sense::Maximize);
+            let mut it = coeffs.into_iter();
+            let vars: Vec<_> = (0..nvars)
+                .map(|i| {
+                    let obj = it.next().unwrap_or(1.0);
+                    let ub = 1.0 + it.next().unwrap_or(1.0);
+                    m.add_var(format!("x{i}"), 0.0, ub, obj)
+                })
+                .collect();
+            for _ in 0..nrows {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, it.next().unwrap_or(1.0)))
+                    .collect();
+                let rhs = 1.0 + it.next().unwrap_or(1.0) * 2.0;
+                m.add_constraint(terms, Relation::Le, rhs);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lp_solutions_are_feasible_and_box_respecting(m in packing_lp()) {
+        let sol = solve_lp(&m).expect("packing LPs are feasible and bounded");
+        prop_assert!(m.is_feasible(sol.values(), 1e-6));
+        prop_assert!(sol.objective.is_finite());
+        // Objective matches the reported point.
+        prop_assert!((m.objective_value(sol.values()) - sol.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_beats_every_vertex_of_a_random_sample(m in packing_lp()) {
+        let sol = solve_lp(&m).unwrap();
+        // Sample a few feasible points (scaled-down bounds); none may
+        // beat the reported optimum.
+        for scale in [0.0, 0.25, 0.5] {
+            let candidate: Vec<f64> = (0..m.var_count())
+                .map(|i| m.bounds(m.vars().nth(i).unwrap()).1 * scale)
+                .collect();
+            if m.is_feasible(&candidate, 1e-9) {
+                prop_assert!(m.objective_value(&candidate) <= sol.objective + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn milp_is_feasible_integral_and_bounded_by_lp(
+        m in packing_lp(),
+        flags in prop::collection::vec(any::<bool>(), 7),
+    ) {
+        // Promote a random subset of variables to integers.
+        let mut milp = Model::new(Sense::Maximize);
+        let vars: Vec<_> = m
+            .vars()
+            .enumerate()
+            .map(|(i, v)| {
+                let (lo, hi) = m.bounds(v);
+                let obj = m.objective_value(
+                    &(0..m.var_count()).map(|j| if j == i { 1.0 } else { 0.0 }).collect::<Vec<_>>(),
+                );
+                if flags.get(i).copied().unwrap_or(false) {
+                    milp.add_integer_var(format!("x{i}"), lo, hi.floor().max(lo), obj)
+                } else {
+                    milp.add_var(format!("x{i}"), lo, hi, obj)
+                }
+            })
+            .collect();
+        let _ = vars;
+        // Re-add the same rows (terms reconstructed via is_feasible on m
+        // is not possible; instead rebuild simple box-only MILP). Box
+        // MILPs: optimum is the upper bound for positive objectives.
+        let sol = solve_milp(&milp, &Default::default()).expect("box MILP solves");
+        prop_assert!(milp.is_feasible(sol.values(), 1e-6));
+        for v in milp.vars().collect::<Vec<_>>() {
+            if milp.is_integer(v) {
+                let x = sol.value(v);
+                prop_assert!((x - x.round()).abs() < 1e-6);
+            }
+        }
+        // The LP relaxation bounds the MILP optimum from above.
+        let relax = solve_lp(&milp).unwrap();
+        prop_assert!(sol.objective <= relax.objective + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_window_is_detected(lo in 0.05f64..0.45) {
+        // x integer constrained to a fraction-only window.
+        let hi = lo + 0.4;
+        prop_assume!(hi.floor() < lo); // no integer inside [lo, hi]
+        let mut m = Model::new(Sense::Minimize);
+        m.add_integer_var("x", lo, hi, 1.0);
+        prop_assert!(matches!(
+            solve_milp(&m, &Default::default()),
+            Err(peercache_lp::LpError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_change_the_optimum(m in packing_lp()) {
+        let base = solve_lp(&m).unwrap();
+        let mut doubled = m.clone();
+        // Re-adding an existing constraint is a no-op for the optimum.
+        // (Grab the first row by rebuilding it through the public API is
+        // impossible; instead add a redundant box row.)
+        let v = doubled.vars().next().unwrap();
+        let (_, hi) = doubled.bounds(v);
+        doubled.add_constraint(vec![(v, 1.0)], Relation::Le, hi);
+        let again = solve_lp(&doubled).unwrap();
+        prop_assert!((base.objective - again.objective).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,63 @@
+//! Why placements look the way they do: topology analysis + placement
+//! report side by side.
+//!
+//! Betweenness centrality predicts where the Hop-Count baseline parks
+//! its caches (the relay hot spot) — exactly the node whose owner would
+//! be exploited. The fairness-aware planner spreads around it.
+//!
+//! Run with: `cargo run --example topology_report`
+
+use peercache::graph::analysis;
+use peercache::prelude::*;
+use peercache::report;
+
+fn main() -> Result<(), CoreError> {
+    let net = paper_grid(6)?;
+    let g = net.graph();
+
+    println!("topology: 6x6 grid, producer {}", net.producer());
+    let deg = analysis::degree_stats(g);
+    println!(
+        "  degree min/mean/max: {}/{:.2}/{}",
+        deg.min, deg.mean, deg.max
+    );
+    println!(
+        "  diameter {} hops, radius {}, average path {:.2} hops",
+        analysis::diameter(g)?,
+        analysis::radius(g)?,
+        analysis::average_path_length(g)?
+    );
+
+    let bc = analysis::betweenness(g);
+    let mut ranked: Vec<(usize, f64)> = bc.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("  top relay nodes (betweenness): ");
+    for (node, score) in ranked.iter().take(4) {
+        println!("    node {node:>2}: {score:.3}");
+    }
+
+    // Where does each algorithm put the load?
+    let mut hopc_net = net.clone();
+    GreedyBaselinePlanner::hop_count(BaselineConfig::default()).plan(&mut hopc_net, 5)?;
+    let hopc_cache = hopc_net
+        .clients()
+        .find(|&n| hopc_net.used(n) > 0)
+        .expect("hopc caches somewhere");
+    println!(
+        "\nHopc parks everything on node {} (betweenness {:.3}, rank {})",
+        hopc_cache,
+        bc[hopc_cache.index()],
+        ranked
+            .iter()
+            .position(|&(n, _)| n == hopc_cache.index())
+            .expect("ranked")
+            + 1
+    );
+
+    let mut fair_net = net;
+    let placement = ApproxPlanner::default().plan(&mut fair_net, 5)?;
+    println!("\nfairness-aware placement:");
+    println!("{}", report::render(&fair_net, &placement));
+    println!("load map (producer = *):\n{}", report::render_grid_loads(&fair_net, 6));
+    Ok(())
+}
