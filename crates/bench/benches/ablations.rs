@@ -97,5 +97,11 @@ fn battery_term(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, path_selection, cleanup_cost, span_threshold, battery_term);
+criterion_group!(
+    benches,
+    path_selection,
+    cleanup_cost,
+    span_threshold,
+    battery_term
+);
 criterion_main!(benches);

@@ -56,11 +56,9 @@ fn bid_step_ablation(c: &mut Criterion) {
             u_alpha,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(u_alpha),
-            &cfg,
-            |b, cfg| b.iter(|| dual_ascent(&net, &inst, cfg).expect("ascent converges")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(u_alpha), &cfg, |b, cfg| {
+            b.iter(|| dual_ascent(&net, &inst, cfg).expect("ascent converges"))
+        });
     }
     group.finish();
 }

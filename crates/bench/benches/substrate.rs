@@ -19,8 +19,7 @@ fn all_pairs(c: &mut Criterion) {
         let costs: Vec<f64> = g.nodes().map(|n| 1.0 + g.degree(n) as f64).collect();
         group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
             b.iter(|| {
-                AllPairsPaths::compute(g, &costs, PathSelection::FewestHops)
-                    .expect("paths compute")
+                AllPairsPaths::compute(g, &costs, PathSelection::FewestHops).expect("paths compute")
             })
         });
     }
@@ -39,10 +38,8 @@ fn steiner_tree(c: &mut Criterion) {
             &terms,
             |b, terms| {
                 b.iter(|| {
-                    steiner::steiner_tree(&g, terms, |u, v| {
-                        (g.degree(u) + g.degree(v)) as f64
-                    })
-                    .expect("tree builds")
+                    steiner::steiner_tree(&g, terms, |u, v| (g.degree(u) + g.degree(v)) as f64)
+                        .expect("tree builds")
                 })
             },
         );
@@ -96,13 +93,9 @@ fn distributed_round(c: &mut Criterion) {
     for side in [6usize, 10] {
         let net = paper_grid(side).expect("grid builds");
         let (views, _) = build_views(&net, 2);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(side * side),
-            &net,
-            |b, net| {
-                b.iter(|| run_chunk_round(net, &views, ChunkId::new(0), &SimConfig::default()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &net, |b, net| {
+            b.iter(|| run_chunk_round(net, &views, ChunkId::new(0), &SimConfig::default()))
+        });
     }
     group.finish();
 }

@@ -65,6 +65,9 @@ pub fn run() -> Vec<Table> {
 
 fn run_planner_boxed(
     net: &peercache_core::Network,
-) -> (peercache_core::placement::Placement, peercache_core::Network) {
+) -> (
+    peercache_core::placement::Placement,
+    peercache_core::Network,
+) {
     run_planner(&BruteForcePlanner::default(), net, CHUNKS)
 }

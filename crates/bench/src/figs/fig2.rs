@@ -23,7 +23,15 @@ pub fn run() -> Vec<Table> {
         "fig2a",
         "total contention cost, small grids (5 chunks; Brtf = practical optimum); \
          ratio column = single-chunk Appx/Brtf objective (bound: 6.55)",
-        &["nodes", "Brtf", "Appx", "Dist", "Hopc", "Cont", "ratio(q=1)"],
+        &[
+            "nodes",
+            "Brtf",
+            "Appx",
+            "Dist",
+            "Hopc",
+            "Cont",
+            "ratio(q=1)",
+        ],
     );
     for (rows, cols) in [(2, 2), (2, 3), (3, 3), (3, 4), (4, 4)] {
         let net = grid(rows, cols);

@@ -31,11 +31,7 @@ pub fn run() -> Vec<Table> {
             f1(placement.total_contention_cost()),
             f3(metrics::gini(&loads)),
             report.messages.total().to_string(),
-            report
-                .fallbacks_per_chunk
-                .iter()
-                .sum::<usize>()
-                .to_string(),
+            report.fallbacks_per_chunk.iter().sum::<usize>().to_string(),
         ]);
     }
     vec![table]

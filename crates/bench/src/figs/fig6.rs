@@ -14,10 +14,7 @@ pub fn run() -> Vec<Table> {
     let mut loads_per_algo = Vec::new();
     for planner in all_planners() {
         let (_, final_net) = run_planner(planner.as_ref(), &net, CHUNKS);
-        let loads: Vec<usize> = final_net
-            .clients()
-            .map(|n| final_net.used(n))
-            .collect();
+        let loads: Vec<usize> = final_net.clients().map(|n| final_net.used(n)).collect();
         loads_per_algo.push((planner.name().to_string(), loads));
     }
 

@@ -8,7 +8,10 @@ use crate::harness::{all_planners, f3, run_planner, Table};
 
 const CHUNKS: usize = 5;
 
-fn gini_of(planner: &dyn peercache_core::planner::CachePlanner, net: &peercache_core::Network) -> f64 {
+fn gini_of(
+    planner: &dyn peercache_core::planner::CachePlanner,
+    net: &peercache_core::Network,
+) -> f64 {
     let (_, final_net) = run_planner(planner, net, CHUNKS);
     let loads: Vec<usize> = final_net.clients().map(|n| final_net.used(n)).collect();
     gini(&loads)

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use peercache_core::approx::ApproxPlanner;
 use peercache_core::baselines::{BaselineConfig, GreedyBaselinePlanner};
@@ -12,6 +13,7 @@ use peercache_core::planner::CachePlanner;
 use peercache_core::Network;
 use peercache_dist::DistributedPlanner;
 use peercache_graph::paths::PathSelection;
+use peercache_obs as obs;
 
 /// The four algorithms every figure compares (Brtf joins where feasible).
 pub fn all_planners() -> Vec<Box<dyn CachePlanner>> {
@@ -25,7 +27,11 @@ pub fn all_planners() -> Vec<Box<dyn CachePlanner>> {
 
 /// Runs a planner on a fresh copy of `net`; returns the placement and
 /// the final network state.
-pub fn run_planner(planner: &dyn CachePlanner, net: &Network, chunks: usize) -> (Placement, Network) {
+pub fn run_planner(
+    planner: &dyn CachePlanner,
+    net: &Network,
+    chunks: usize,
+) -> (Placement, Network) {
     let mut copy = net.clone();
     let placement = planner
         .plan(&mut copy, chunks)
@@ -49,6 +55,76 @@ pub fn run_final_costed(
     )
     .expect("recosting a valid placement succeeds");
     (recosted, final_net)
+}
+
+/// Runs every planner on every topology and tabulates wall time, the
+/// cost breakdown, and (for Dist) message traffic — the machine-readable
+/// run summary behind the `repro` binary's default mode. Each cell also
+/// goes to the trace as one `bench.run` event when `PEERCACHE_TRACE`
+/// selects a sink.
+pub fn run_summary(topologies: &[(&str, Network)], chunks: usize) -> Table {
+    let mut table = Table::new(
+        "summary",
+        &format!("run summary — every planner × topology, {chunks} chunks"),
+        &[
+            "topology",
+            "planner",
+            "chunks",
+            "wall_ms",
+            "fairness",
+            "access",
+            "dissemination",
+            "cost_total",
+            "messages",
+            "dropped",
+        ],
+    );
+    for (topo, net) in topologies {
+        let appx = ApproxPlanner::default();
+        let dist = DistributedPlanner::default();
+        let hopc = GreedyBaselinePlanner::hop_count(BaselineConfig::default());
+        let cont = GreedyBaselinePlanner::contention(BaselineConfig::default());
+        let planners: [&dyn CachePlanner; 4] = [&appx, &dist, &hopc, &cont];
+        for planner in planners {
+            let start = Instant::now();
+            let (placement, _) = run_planner(planner, net, chunks);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let costs = placement.total_costs();
+            // Message traffic only exists for the distributed protocol.
+            let (messages, dropped) = if planner.name() == "Dist" {
+                let report = dist.last_report();
+                (report.messages.total(), report.messages.dropped)
+            } else {
+                (0, 0)
+            };
+            obs::event!(
+                "bench.run",
+                topology = topo.to_string(),
+                planner = planner.name().to_string(),
+                chunks = chunks,
+                wall_ms = wall_ms,
+                fairness = costs.fairness,
+                access = costs.access,
+                dissemination = costs.dissemination,
+                cost_total = costs.total(),
+                messages = messages,
+                dropped = dropped,
+            );
+            table.push_row(vec![
+                topo.to_string(),
+                planner.name().to_string(),
+                chunks.to_string(),
+                f3(wall_ms),
+                f1(costs.fairness),
+                f1(costs.access),
+                f1(costs.dissemination),
+                f1(costs.total()),
+                messages.to_string(),
+                dropped.to_string(),
+            ]);
+        }
+    }
+    table
 }
 
 /// A printable/serializable result table.

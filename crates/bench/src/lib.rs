@@ -1,11 +1,13 @@
 //! Benchmark harness regenerating every figure of the ICDCS'17
 //! evaluation (§V).
 //!
-//! The `repro` binary drives one module per figure:
+//! The workspace's `repro` binary (entry point in [`repro`]) drives one
+//! module per figure:
 //!
 //! ```text
-//! cargo run --release -p peercache-bench --bin repro -- all
-//! cargo run --release -p peercache-bench --bin repro -- fig2 fig6
+//! cargo run --release --bin repro              # run summary
+//! cargo run --release --bin repro -- all
+//! cargo run --release --bin repro -- fig2 fig6
 //! ```
 //!
 //! Each figure prints the paper's series as a table and writes CSV to
@@ -19,3 +21,4 @@
 
 pub mod figs;
 pub mod harness;
+pub mod repro;

@@ -1,0 +1,73 @@
+//! Entry point for the workspace `repro` binary: argument parsing and
+//! dispatch to the figure modules and the run-summary mode.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use peercache_core::workload::{paper_grid, paper_random};
+use peercache_obs as obs;
+
+use crate::figs;
+use crate::harness::run_summary;
+
+/// Runs the no-argument mode: a compact summary of every planner on
+/// every reference topology (wall time, cost breakdown, messages).
+fn summary() -> ExitCode {
+    let topologies = [
+        ("grid4", paper_grid(4)),
+        ("grid6", paper_grid(6)),
+        ("random24", paper_random(24, 7)),
+    ];
+    let mut built = Vec::new();
+    for (name, net) in topologies {
+        match net {
+            Ok(net) => built.push((name, net)),
+            Err(e) => {
+                eprintln!("cannot build topology {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    run_summary(&built, 3).emit();
+    obs::emit_metrics();
+    ExitCode::SUCCESS
+}
+
+/// The `repro` binary: `repro` (run summary), `repro all`, or
+/// `repro fig1 ... fig9`. Returns the process exit code.
+pub fn main_with_args(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: repro [all | fig1 .. fig9]...");
+        eprintln!("       repro            (no args: run summary over every planner)");
+        eprintln!("figures: {}", figs::ALL.join(" "));
+        return ExitCode::from(2);
+    }
+    if args.is_empty() {
+        return summary();
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        figs::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !figs::ALL.contains(id) {
+            eprintln!(
+                "unknown figure id: {id} (expected one of {})",
+                figs::ALL.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    for id in ids {
+        let start = Instant::now();
+        let span = obs::span!("repro.figure", id = id.to_string());
+        for table in figs::run(id) {
+            table.emit();
+        }
+        drop(span);
+        eprintln!("[{id} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+    obs::emit_metrics();
+    ExitCode::SUCCESS
+}

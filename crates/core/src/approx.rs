@@ -37,7 +37,12 @@ use peercache_graph::NodeId;
 use crate::costs::CostWeights;
 use crate::instance::ConflInstance;
 use crate::placement::Placement;
-use crate::planner::{commit_chunk, improve_by_removal, prune_unused_facilities, CachePlanner};
+use peercache_obs as obs;
+
+use crate::planner::{
+    chunk_span, commit_chunk, finish_chunk_span, improve_by_removal, prune_unused_facilities,
+    CachePlanner,
+};
 use crate::{ChunkId, CoreError, Network};
 
 /// Tuning parameters of the approximation algorithm.
@@ -108,6 +113,9 @@ pub struct DualAscentStats {
     pub rounds: usize,
     /// Facilities opened (before unused-facility pruning).
     pub opened: usize,
+    /// Clients frozen because their α went tight with an already-open
+    /// facility (or the producer) — the "tight edge" events of §IV-B.
+    pub tight_events: usize,
 }
 
 /// Runs the dual ascent for one chunk and returns the opened facility
@@ -151,7 +159,13 @@ pub fn dual_ascent(
         .fold(0.0f64, f64::max);
     let round_cap = (max_producer_cost / cfg.u_alpha).ceil() as usize + 2;
 
+    let mut ascent_span = obs::span!(
+        "core.dual_ascent",
+        clients = clients.len(),
+        candidates = candidates.len(),
+    );
     let mut rounds = 0usize;
+    let mut tight_events = 0usize;
     while clients.iter().any(|&j| !frozen[j.index()]) {
         rounds += 1;
         if rounds > round_cap {
@@ -179,6 +193,7 @@ pub fn dual_ascent(
                     .any(|&i| open[i.index()] && alpha[j.index()] >= inst.connection_cost(i, j));
             if tight_open {
                 frozen[j.index()] = true;
+                tight_events += 1;
             }
         }
 
@@ -245,9 +260,7 @@ pub fn dual_ascent(
                 if frozen[j.index()] || j == i {
                     continue;
                 }
-                if beta[i.index() * n + j.index()] > 0.0
-                    || gamma[i.index() * n + j.index()] > 0.0
-                {
+                if beta[i.index() * n + j.index()] > 0.0 || gamma[i.index() * n + j.index()] > 0.0 {
                     frozen[j.index()] = true;
                 }
             }
@@ -269,7 +282,13 @@ pub fn dual_ascent(
     let stats = DualAscentStats {
         rounds,
         opened: facilities.len(),
+        tight_events,
     };
+    if ascent_span.is_recording() {
+        ascent_span.add_field("rounds", obs::Value::from(stats.rounds));
+        ascent_span.add_field("opened", obs::Value::from(stats.opened));
+        ascent_span.add_field("tight_events", obs::Value::from(stats.tight_events));
+    }
     Ok((facilities, stats))
 }
 
@@ -297,12 +316,38 @@ impl CachePlanner for ApproxPlanner {
         let mut placement = Placement::default();
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
-            let inst =
-                ConflInstance::build_for_chunk(net, chunk, self.config.weights, self.config.selection)?;
-            let (facilities, _) = dual_ascent(net, &inst, &self.config)?;
+            let mut span = chunk_span("Appx", chunk);
+            let mut clock = obs::Stopwatch::start();
+            let inst = ConflInstance::build_for_chunk(
+                net,
+                chunk,
+                self.config.weights,
+                self.config.selection,
+            )?;
+            let build_us = clock.lap_us();
+            let (facilities, stats) = dual_ascent(net, &inst, &self.config)?;
+            let ascent_us = clock.lap_us();
             let facilities = prune_unused_facilities(net, &inst, &facilities);
+            let prune_us = clock.lap_us();
             let facilities = improve_by_removal(net, &inst, &facilities)?;
-            placement.push(commit_chunk(net, &inst, chunk, &facilities)?);
+            let improve_us = clock.lap_us();
+            let cp = commit_chunk(net, &inst, chunk, &facilities)?;
+            // The commit phase evaluates the final set, which includes
+            // building the Steiner dissemination tree.
+            let steiner_commit_us = clock.lap_us();
+            if span.is_recording() {
+                span.add_field("rounds", obs::Value::from(stats.rounds));
+                span.add_field("tight_events", obs::Value::from(stats.tight_events));
+                span.add_field("opened", obs::Value::from(stats.opened));
+                span.add_field("pruned", obs::Value::from(stats.opened - facilities.len()));
+                span.add_field("build_us", obs::Value::from(build_us));
+                span.add_field("ascent_us", obs::Value::from(ascent_us));
+                span.add_field("prune_us", obs::Value::from(prune_us));
+                span.add_field("improve_us", obs::Value::from(improve_us));
+                span.add_field("steiner_commit_us", obs::Value::from(steiner_commit_us));
+            }
+            finish_chunk_span(span, &cp);
+            placement.push(cp);
         }
         Ok(placement)
     }
@@ -343,7 +388,10 @@ mod tests {
         let inst = build_inst(&net);
         let (facilities, stats) = dual_ascent(&net, &inst, &ApproxConfig::default()).unwrap();
         assert!(stats.rounds > 0);
-        assert!(!facilities.is_empty(), "grid should open at least one cache");
+        assert!(
+            !facilities.is_empty(),
+            "grid should open at least one cache"
+        );
         assert!(facilities.iter().all(|&i| i != net.producer()));
     }
 

@@ -29,7 +29,7 @@ use peercache_graph::{components, NodeId};
 use crate::costs::CostWeights;
 use crate::instance::ConflInstance;
 use crate::placement::Placement;
-use crate::planner::{commit_chunk, CachePlanner};
+use crate::planner::{chunk_span, commit_chunk, finish_chunk_span, CachePlanner};
 use crate::{ChunkId, CoreError, Network};
 
 /// Which delay metric drives the baseline's greedy selection.
@@ -115,10 +115,7 @@ fn greedy_select(
     let node_costs: Vec<f64> = match metric {
         // Hop counts come straight from path hops; node costs unused.
         BaselineMetric::HopCount => vec![0.0; sub.node_count()],
-        BaselineMetric::StaticContention => sub
-            .nodes()
-            .map(|k| sub.degree(k) as f64)
-            .collect(),
+        BaselineMetric::StaticContention => sub.nodes().map(|k| sub.degree(k) as f64).collect(),
     };
     let paths = AllPairsPaths::compute(&sub, &node_costs, PathSelection::FewestHops)?;
     let cost = |i: usize, j: usize| -> f64 {
@@ -206,8 +203,13 @@ impl CachePlanner for GreedyBaselinePlanner {
         // `used_up` marks nodes already claimed by a previous round's set.
         let mut claimed = vec![false; net.node_count()];
         let mut round_set: Vec<NodeId> = Vec::new();
+        let name = match self.metric {
+            BaselineMetric::HopCount => "Hopc",
+            BaselineMetric::StaticContention => "Cont",
+        };
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
+            let span = chunk_span(name, chunk);
             // Refresh the round set when nobody in it has vacancy left.
             if round_set.iter().all(|&i| net.remaining(i) == 0) {
                 round_set = self.next_round_set(net, &mut claimed)?;
@@ -217,9 +219,15 @@ impl CachePlanner for GreedyBaselinePlanner {
                 .copied()
                 .filter(|&i| net.remaining(i) > 0)
                 .collect();
-            let inst =
-                ConflInstance::build_for_chunk(net, chunk, self.config.weights, self.config.selection)?;
-            placement.push(commit_chunk(net, &inst, chunk, &caches)?);
+            let inst = ConflInstance::build_for_chunk(
+                net,
+                chunk,
+                self.config.weights,
+                self.config.selection,
+            )?;
+            let cp = commit_chunk(net, &inst, chunk, &caches)?;
+            finish_chunk_span(span, &cp);
+            placement.push(cp);
         }
         Ok(placement)
     }
@@ -237,9 +245,7 @@ impl GreedyBaselinePlanner {
         let residual: Vec<NodeId> = net
             .graph()
             .nodes()
-            .filter(|&n| {
-                n == net.producer() || (!claimed[n.index()] && net.remaining(n) > 0)
-            })
+            .filter(|&n| n == net.producer() || (!claimed[n.index()] && net.remaining(n) > 0))
             .collect();
         if residual.len() <= 1 {
             return Ok(Vec::new()); // nothing but the producer left
@@ -307,7 +313,10 @@ mod tests {
         let set0 = &placement.chunks()[0].caches;
         let set2 = &placement.chunks()[2].caches;
         assert!(!set0.is_empty());
-        assert!(set0.iter().all(|n| !set2.contains(n)), "sets must be disjoint");
+        assert!(
+            set0.iter().all(|n| !set2.contains(n)),
+            "sets must be disjoint"
+        );
     }
 
     #[test]

@@ -213,7 +213,10 @@ mod tests {
         let before = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
         net.cache(NodeId::new(1), ChunkId::new(0)).unwrap();
         let after = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
-        assert!(after.cost(NodeId::new(0), NodeId::new(1)) > before.cost(NodeId::new(0), NodeId::new(1)));
+        assert!(
+            after.cost(NodeId::new(0), NodeId::new(1))
+                > before.cost(NodeId::new(0), NodeId::new(1))
+        );
     }
 
     #[test]

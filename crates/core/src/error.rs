@@ -103,7 +103,9 @@ mod tests {
             capacity: 5,
         };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
-        assert!(CoreError::DisconnectedNetwork.to_string().contains("connected"));
+        assert!(CoreError::DisconnectedNetwork
+            .to_string()
+            .contains("connected"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use peercache_graph::paths::PathSelection;
 use crate::costs::CostWeights;
 use crate::instance::ConflInstance;
 use crate::placement::Placement;
-use crate::planner::{commit_chunk, CachePlanner};
+use crate::planner::{chunk_span, commit_chunk, finish_chunk_span, CachePlanner};
 use crate::{ChunkId, CoreError, Network};
 
 /// Configuration of the exact planners.
@@ -129,10 +129,17 @@ impl CachePlanner for BruteForcePlanner {
         let mut placement = Placement::default();
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
-            let inst =
-                ConflInstance::build_for_chunk(net, chunk, self.config.weights, self.config.selection)?;
+            let span = chunk_span("Brtf", chunk);
+            let inst = ConflInstance::build_for_chunk(
+                net,
+                chunk,
+                self.config.weights,
+                self.config.selection,
+            )?;
             let set = best_facility_set(net, &inst, self.config.max_candidates)?;
-            placement.push(commit_chunk(net, &inst, chunk, &set)?);
+            let cp = commit_chunk(net, &inst, chunk, &set)?;
+            finish_chunk_span(span, &cp);
+            placement.push(cp);
         }
         Ok(placement)
     }
@@ -150,7 +157,10 @@ impl CachePlanner for BruteForcePlanner {
 ///
 /// Returns [`CoreError::Solver`] if branch-and-bound fails (node limit
 /// or numerical trouble).
-pub fn solve_chunk_milp(net: &Network, inst: &ConflInstance) -> Result<(Vec<NodeId>, f64), CoreError> {
+pub fn solve_chunk_milp(
+    net: &Network,
+    inst: &ConflInstance,
+) -> Result<(Vec<NodeId>, f64), CoreError> {
     let producer = inst.producer();
     let candidates = inst.candidates();
     let clients: Vec<NodeId> = inst.clients().to_vec();
@@ -272,10 +282,17 @@ impl CachePlanner for MilpPlanner {
         let mut placement = Placement::default();
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
-            let inst =
-                ConflInstance::build_for_chunk(net, chunk, self.config.weights, self.config.selection)?;
+            let span = chunk_span("Ilp", chunk);
+            let inst = ConflInstance::build_for_chunk(
+                net,
+                chunk,
+                self.config.weights,
+                self.config.selection,
+            )?;
             let (set, _) = solve_chunk_milp(net, &inst)?;
-            placement.push(commit_chunk(net, &inst, chunk, &set)?);
+            let cp = commit_chunk(net, &inst, chunk, &set)?;
+            finish_chunk_span(span, &cp);
+            placement.push(cp);
         }
         Ok(placement)
     }
@@ -373,10 +390,7 @@ mod tests {
                 .map(|(_, &c)| c)
                 .collect();
             let (costs, _, _) = i.evaluate_set(&net, &subset).unwrap();
-            if exhaustive
-                .as_ref()
-                .is_none_or(|(t, _)| costs.total() < *t)
-            {
+            if exhaustive.as_ref().is_none_or(|(t, _)| costs.total() < *t) {
                 exhaustive = Some((costs.total(), subset));
             }
         }

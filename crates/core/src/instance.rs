@@ -169,7 +169,11 @@ impl ConflInstance {
     /// client order plus the summed access cost.
     ///
     /// A facility node serves itself at zero cost.
-    pub fn assign_clients(&self, _net: &Network, facilities: &[NodeId]) -> (Vec<(NodeId, NodeId)>, f64) {
+    pub fn assign_clients(
+        &self,
+        _net: &Network,
+        facilities: &[NodeId],
+    ) -> (Vec<(NodeId, NodeId)>, f64) {
         let mut assignment = Vec::new();
         let mut access = 0.0;
         for &j in &self.clients {
@@ -204,9 +208,8 @@ impl ConflInstance {
         let (assignment, access) = self.assign_clients(net, facilities);
         let mut terminals: Vec<NodeId> = facilities.to_vec();
         terminals.push(self.producer);
-        let tree = steiner::steiner_tree(net.graph(), &terminals, |u, v| {
-            self.matrix.edge_cost(u, v)
-        })?;
+        let tree =
+            steiner::steiner_tree(net.graph(), &terminals, |u, v| self.matrix.edge_cost(u, v))?;
         let costs = SetCosts {
             fairness,
             access,
@@ -286,7 +289,12 @@ mod tests {
         let net = net();
         let inst = instance(&net);
         let (none, _, _) = inst.evaluate_set(&net, &[]).unwrap();
-        let corners = [NodeId::new(0), NodeId::new(2), NodeId::new(6), NodeId::new(8)];
+        let corners = [
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(6),
+            NodeId::new(8),
+        ];
         let (four, _, _) = inst.evaluate_set(&net, &corners).unwrap();
         assert!(four.access < none.access);
         assert!(four.dissemination > 0.0);
@@ -300,8 +308,7 @@ mod tests {
             ..Default::default()
         };
         let base = instance(&net);
-        let scaled =
-            ConflInstance::build(&net, weights, PathSelection::FewestHops).unwrap();
+        let scaled = ConflInstance::build(&net, weights, PathSelection::FewestHops).unwrap();
         let set = [NodeId::new(0)];
         let (c1, _, _) = base.evaluate_set(&net, &set).unwrap();
         let (c3, _, _) = scaled.evaluate_set(&net, &set).unwrap();

@@ -57,8 +57,8 @@ pub mod instance;
 pub mod metrics;
 pub mod online;
 pub mod placement;
-pub mod report;
 pub mod planner;
+pub mod report;
 pub mod workload;
 
 pub use error::CoreError;

@@ -171,6 +171,40 @@ mod tests {
     }
 
     #[test]
+    fn gini_of_single_node_is_zero() {
+        // One node trivially carries "everything" and "its fair share"
+        // at once: no inequality is expressible.
+        assert_eq!(gini(&[7]), 0.0);
+        assert_eq!(gini(&[0]), 0.0);
+    }
+
+    #[test]
+    fn nodes_to_cover_boundary_ratios() {
+        let loads = [4, 3, 2, 1, 0];
+        // ratio 0: no data needed, no node needed.
+        assert_eq!(nodes_to_cover(&loads, 0.0), 0);
+        // ratio 1: every copy must be accounted for, but the zero-load
+        // tail contributes nothing — four nodes suffice.
+        assert_eq!(nodes_to_cover(&loads, 1.0), 4);
+        assert_eq!(nodes_to_cover(&[2, 2], 1.0), 2);
+        assert_eq!(nodes_to_cover(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn percentile_fairness_boundary_percentiles() {
+        let loads = [4, 3, 2, 1];
+        // p = 0: covering nothing takes no nodes.
+        assert_eq!(p_percentile_fairness(&loads, 0.0), 0.0);
+        // p = 100%: all loaded nodes, as a fraction of all nodes.
+        assert_eq!(p_percentile_fairness(&loads, 1.0), 1.0);
+        assert_eq!(p_percentile_fairness(&[4, 3, 2, 1, 0], 1.0), 0.8);
+        // Uniform load is the ideal diagonal at every percentile.
+        for p in [0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(p_percentile_fairness(&[1; 4], p), p);
+        }
+    }
+
+    #[test]
     fn percentile_fairness_examples_from_the_paper_shape() {
         // Uniform: ideal.
         assert_eq!(p_percentile_fairness(&[1; 35], 0.75), 27.0 / 35.0);

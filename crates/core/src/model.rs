@@ -101,16 +101,20 @@ impl Network {
         capacities: Vec<usize>,
     ) -> Result<Self, CoreError> {
         if !graph.contains_node(producer) {
-            return Err(CoreError::Graph(peercache_graph::GraphError::NodeOutOfBounds {
-                node: producer,
-                node_count: graph.node_count(),
-            }));
+            return Err(CoreError::Graph(
+                peercache_graph::GraphError::NodeOutOfBounds {
+                    node: producer,
+                    node_count: graph.node_count(),
+                },
+            ));
         }
         if capacities.len() != graph.node_count() {
-            return Err(CoreError::Graph(peercache_graph::GraphError::NodeOutOfBounds {
-                node: NodeId::new(capacities.len()),
-                node_count: graph.node_count(),
-            }));
+            return Err(CoreError::Graph(
+                peercache_graph::GraphError::NodeOutOfBounds {
+                    node: NodeId::new(capacities.len()),
+                    node_count: graph.node_count(),
+                },
+            ));
         }
         if !components::is_connected(&graph) {
             return Err(CoreError::DisconnectedNetwork);
@@ -518,7 +522,10 @@ mod tests {
         let mut net = net3x3();
         net.cache(NodeId::new(0), ChunkId::new(7)).unwrap();
         net.cache(NodeId::new(8), ChunkId::new(7)).unwrap();
-        assert_eq!(net.holders(ChunkId::new(7)), vec![NodeId::new(0), NodeId::new(8)]);
+        assert_eq!(
+            net.holders(ChunkId::new(7)),
+            vec![NodeId::new(0), NodeId::new(8)]
+        );
         assert!(net.can_serve(NodeId::new(0), ChunkId::new(7)));
         assert!(net.can_serve(NodeId::new(4), ChunkId::new(7))); // producer
         assert!(!net.can_serve(NodeId::new(1), ChunkId::new(7)));
@@ -623,8 +630,7 @@ mod tests {
     fn zero_capacity_node_has_infinite_fairness() {
         let mut caps = vec![2; 4];
         caps[1] = 0;
-        let net =
-            Network::with_capacities(builders::grid(2, 2), NodeId::new(0), caps).unwrap();
+        let net = Network::with_capacities(builders::grid(2, 2), NodeId::new(0), caps).unwrap();
         assert!(net.fairness_cost(NodeId::new(1)).is_infinite());
     }
 

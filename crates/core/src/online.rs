@@ -8,6 +8,8 @@
 //! a retention window retires the oldest live chunk when exceeded
 //! (freeing its copies network-wide).
 
+use peercache_obs as obs;
+
 use crate::approx::{dual_ascent, ApproxConfig};
 use crate::instance::ConflInstance;
 use crate::placement::ChunkPlacement;
@@ -84,15 +86,22 @@ impl OnlineCache {
         }
         let chunk = ChunkId::new(self.next_chunk);
         self.next_chunk += 1;
+        let mut span = obs::span!("online.insert", chunk = chunk.index());
         let inst = ConflInstance::build_for_chunk(
             &self.net,
             chunk,
             self.config.weights,
             self.config.selection,
         )?;
-        let (facilities, _) = dual_ascent(&self.net, &inst, &self.config)?;
+        let (facilities, stats) = dual_ascent(&self.net, &inst, &self.config)?;
         let facilities = prune_unused_facilities(&self.net, &inst, &facilities);
         let placement = commit_chunk(&mut self.net, &inst, chunk, &facilities)?;
+        if span.is_recording() {
+            span.add_field("rounds", obs::Value::from(stats.rounds));
+            span.add_field("copies", obs::Value::from(placement.caches.len()));
+            span.add_field("live", obs::Value::from(self.live.len() + 1));
+            span.add_field("cost_total", obs::Value::from(placement.costs.total()));
+        }
         self.live.push(chunk);
         self.history.push(placement);
         Ok(self.history.last().expect("just pushed"))
@@ -106,6 +115,12 @@ impl OnlineCache {
         for node in &holders {
             self.net.uncache(*node, chunk);
         }
+        obs::event!(
+            "online.retire",
+            chunk = chunk.index(),
+            copies_freed = holders.len(),
+            live = self.live.len(),
+        );
         holders.len()
     }
 }

@@ -71,12 +71,18 @@ impl Placement {
     /// Total Contention Cost (accessing + dissemination, all chunks) —
     /// the headline metric of Figs. 2, 3, 4 and 8.
     pub fn total_contention_cost(&self) -> f64 {
-        self.chunks.iter().map(ChunkPlacement::contention_cost).sum()
+        self.chunks
+            .iter()
+            .map(ChunkPlacement::contention_cost)
+            .sum()
     }
 
     /// Contention cost per chunk, in chunk order (Fig. 9).
     pub fn per_chunk_contention(&self) -> Vec<f64> {
-        self.chunks.iter().map(ChunkPlacement::contention_cost).collect()
+        self.chunks
+            .iter()
+            .map(ChunkPlacement::contention_cost)
+            .collect()
     }
 
     /// Running (accumulated) contention cost after each chunk (Fig. 8).
@@ -215,9 +221,13 @@ mod tests {
         fn final_recosting_preserves_structure_and_fairness() {
             let mut net = paper_grid(4).unwrap();
             let placed = ApproxPlanner::default().plan(&mut net, 3).unwrap();
-            let recosted =
-                recost_final(&net, &placed, CostWeights::default(), PathSelection::FewestHops)
-                    .unwrap();
+            let recosted = recost_final(
+                &net,
+                &placed,
+                CostWeights::default(),
+                PathSelection::FewestHops,
+            )
+            .unwrap();
             for (a, b) in placed.chunks().iter().zip(recosted.chunks()) {
                 assert_eq!(a.caches, b.caches);
                 assert_eq!(a.assignment, b.assignment);
@@ -232,9 +242,13 @@ mod tests {
             // is at least its placement-time cost (loads only grew).
             let mut net = paper_grid(4).unwrap();
             let placed = ApproxPlanner::default().plan(&mut net, 3).unwrap();
-            let recosted =
-                recost_final(&net, &placed, CostWeights::default(), PathSelection::FewestHops)
-                    .unwrap();
+            let recosted = recost_final(
+                &net,
+                &placed,
+                CostWeights::default(),
+                PathSelection::FewestHops,
+            )
+            .unwrap();
             for (a, b) in placed.chunks().iter().zip(recosted.chunks()) {
                 assert!(b.costs.access + 1e-9 >= a.costs.access);
                 assert!(b.costs.dissemination + 1e-9 >= a.costs.dissemination);
@@ -258,9 +272,13 @@ mod tests {
         fn contention_weight_scales_recosted_access() {
             let mut net = paper_grid(4).unwrap();
             let placed = ApproxPlanner::default().plan(&mut net, 2).unwrap();
-            let base =
-                recost_final(&net, &placed, CostWeights::default(), PathSelection::FewestHops)
-                    .unwrap();
+            let base = recost_final(
+                &net,
+                &placed,
+                CostWeights::default(),
+                PathSelection::FewestHops,
+            )
+            .unwrap();
             let doubled = recost_final(
                 &net,
                 &placed,

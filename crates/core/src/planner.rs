@@ -8,10 +8,31 @@
 //! fairness and contention costs.
 
 use peercache_graph::NodeId;
+use peercache_obs as obs;
 
 use crate::instance::ConflInstance;
 use crate::placement::{ChunkPlacement, Placement};
 use crate::{ChunkId, CoreError, Network};
+
+/// Opens the per-chunk telemetry span every planner emits; pass it to
+/// [`finish_chunk_span`] once the chunk is committed. No-op (and
+/// allocation-free) when tracing is off.
+pub fn chunk_span(planner: &'static str, chunk: ChunkId) -> obs::Span {
+    obs::span!("planner.chunk", planner = planner, chunk = chunk.index())
+}
+
+/// Attaches the committed cost breakdown to the span and drops it,
+/// emitting one record per (planner, chunk) with wall time and the
+/// fairness/access/dissemination split.
+pub fn finish_chunk_span(mut span: obs::Span, cp: &ChunkPlacement) {
+    if span.is_recording() {
+        span.add_field("caches", obs::Value::from(cp.caches.len()));
+        span.add_field("fairness", obs::Value::from(cp.costs.fairness));
+        span.add_field("access", obs::Value::from(cp.costs.access));
+        span.add_field("dissemination", obs::Value::from(cp.costs.dissemination));
+        span.add_field("cost_total", obs::Value::from(cp.costs.total()));
+    }
+}
 
 /// A caching-placement algorithm.
 pub trait CachePlanner {
@@ -95,9 +116,7 @@ pub fn improve_by_removal(
             candidate.remove(idx);
             let (costs, _, _) = inst.evaluate_set(net, &candidate)?;
             let total = costs.total();
-            if total < best_total - 1e-9
-                && best_removal.is_none_or(|(bt, _)| total < bt)
-            {
+            if total < best_total - 1e-9 && best_removal.is_none_or(|(bt, _)| total < bt) {
                 best_removal = Some((total, idx));
             }
         }
@@ -166,8 +185,7 @@ mod tests {
     fn setup() -> (Network, ConflInstance) {
         let net = Network::new(builders::grid(3, 3), NodeId::new(4), 2).unwrap();
         let inst =
-            ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops)
-                .unwrap();
+            ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops).unwrap();
         (net, inst)
     }
 
@@ -196,9 +214,13 @@ mod tests {
     #[test]
     fn commit_chunk_caches_copies_and_reports_costs() {
         let (mut net, inst) = setup();
-        let placement =
-            commit_chunk(&mut net, &inst, ChunkId::new(0), &[NodeId::new(0), NodeId::new(8)])
-                .unwrap();
+        let placement = commit_chunk(
+            &mut net,
+            &inst,
+            ChunkId::new(0),
+            &[NodeId::new(0), NodeId::new(8)],
+        )
+        .unwrap();
         assert!(net.is_cached(NodeId::new(0), ChunkId::new(0)));
         assert!(net.is_cached(NodeId::new(8), ChunkId::new(0)));
         assert_eq!(placement.caches.len(), 2);
@@ -214,8 +236,7 @@ mod tests {
         net.cache(NodeId::new(0), ChunkId::new(10)).unwrap();
         net.cache(NodeId::new(0), ChunkId::new(11)).unwrap();
         let inst =
-            ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops)
-                .unwrap();
+            ConflInstance::build(&net, CostWeights::default(), PathSelection::FewestHops).unwrap();
         let err = commit_chunk(&mut net, &inst, ChunkId::new(0), &[NodeId::new(0)]);
         assert!(matches!(err, Err(CoreError::StorageFull { .. })));
     }

@@ -83,7 +83,12 @@ pub fn render_load_histogram(loads: &[usize]) -> String {
     out.push('\n');
     for k in 0..=max {
         let count = loads.iter().filter(|&&l| l == k).count();
-        let _ = writeln!(out, "    {k} chunks: {:3} nodes {}", count, "#".repeat(count));
+        let _ = writeln!(
+            out,
+            "    {k} chunks: {:3} nodes {}",
+            count,
+            "#".repeat(count)
+        );
     }
     out.pop();
     out

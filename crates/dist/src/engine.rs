@@ -13,7 +13,9 @@ use peercache_graph::NodeId;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::protocol::{Message, MessageStats};
+use peercache_obs as obs;
+
+use crate::protocol::{Message, MessageKind, MessageStats};
 
 /// Virtual time in ticks.
 pub type Tick = u64;
@@ -100,10 +102,7 @@ impl Engine {
         use rand::SeedableRng;
         let mut engine = Engine::new();
         if loss.drop_probability > 0.0 {
-            engine.loss = Some((
-                loss.drop_probability,
-                ChaCha8Rng::seed_from_u64(loss.seed),
-            ));
+            engine.loss = Some((loss.drop_probability, ChaCha8Rng::seed_from_u64(loss.seed)));
         }
         if jitter.max_extra_ticks > 0 {
             engine.jitter = Some((
@@ -132,6 +131,9 @@ impl Engine {
         if let Some((p, rng)) = &mut self.loss {
             if rng.gen::<f64>() < *p {
                 self.stats.dropped += 1;
+                if obs::enabled() {
+                    obs::counter("dist.msg.dropped").incr();
+                }
                 return;
             }
         }
@@ -164,6 +166,9 @@ impl Engine {
             .take()
             .expect("queued slots hold payloads");
         self.stats.record(delivery.msg.kind());
+        if obs::enabled() {
+            delivered_counter(delivery.msg.kind()).incr();
+        }
         Some(delivery)
     }
 
@@ -175,6 +180,20 @@ impl Engine {
     /// Returns `true` if no deliveries are pending.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
+    }
+}
+
+/// Process-global delivered-message counter for one kind (snapshotted
+/// into the trace by `obs::emit_metrics`).
+fn delivered_counter(kind: MessageKind) -> &'static obs::Counter {
+    match kind {
+        MessageKind::Npi => obs::counter("dist.msg.npi"),
+        MessageKind::Cc => obs::counter("dist.msg.cc"),
+        MessageKind::Tight => obs::counter("dist.msg.tight"),
+        MessageKind::Span => obs::counter("dist.msg.span"),
+        MessageKind::Freeze => obs::counter("dist.msg.freeze"),
+        MessageKind::NAdmin => obs::counter("dist.msg.nadmin"),
+        MessageKind::BAdmin => obs::counter("dist.msg.badmin"),
     }
 }
 
@@ -239,8 +258,8 @@ mod tests {
             },
         );
         while e.next_delivery().is_some() {}
-        assert_eq!(e.stats().tight, 1);
-        assert_eq!(e.stats().npi, 1);
+        assert_eq!(e.stats().get(MessageKind::Tight), 1);
+        assert_eq!(e.stats().get(MessageKind::Npi), 1);
         assert_eq!(e.stats().total(), 2);
     }
 

@@ -104,25 +104,36 @@ impl MessageKind {
         MessageKind::NAdmin,
         MessageKind::BAdmin,
     ];
+
+    /// Position of this kind in [`MessageKind::ALL`] (and in
+    /// [`MessageStats`]' backing array).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The wire name of this kind, as used in Table II and the
+    /// telemetry output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MessageKind::Npi => "NPI",
+            MessageKind::Cc => "CC",
+            MessageKind::Tight => "TIGHT",
+            MessageKind::Span => "SPAN",
+            MessageKind::Freeze => "FREEZE",
+            MessageKind::NAdmin => "NADMIN",
+            MessageKind::BAdmin => "BADMIN",
+        }
+    }
 }
 
 /// Per-type message counters (the §IV-D complexity analysis in numbers).
+///
+/// Delivered counts are stored per [`MessageKind`] and indexable with
+/// `stats[kind]`; `dropped` counts messages lost to fault injection and
+/// is deliberately outside [`MessageStats::total`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MessageStats {
-    /// NPI broadcasts delivered.
-    pub npi: u64,
-    /// CC requests + replies delivered.
-    pub cc: u64,
-    /// TIGHT requests delivered.
-    pub tight: u64,
-    /// SPAN requests delivered.
-    pub span: u64,
-    /// FREEZE responses delivered.
-    pub freeze: u64,
-    /// NADMIN announcements delivered.
-    pub nadmin: u64,
-    /// BADMIN announcements delivered.
-    pub badmin: u64,
+    delivered: [u64; MessageKind::ALL.len()],
     /// Messages dropped by fault injection.
     pub dropped: u64,
 }
@@ -130,32 +141,43 @@ pub struct MessageStats {
 impl MessageStats {
     /// Records one delivered message.
     pub fn record(&mut self, kind: MessageKind) {
-        match kind {
-            MessageKind::Npi => self.npi += 1,
-            MessageKind::Cc => self.cc += 1,
-            MessageKind::Tight => self.tight += 1,
-            MessageKind::Span => self.span += 1,
-            MessageKind::Freeze => self.freeze += 1,
-            MessageKind::NAdmin => self.nadmin += 1,
-            MessageKind::BAdmin => self.badmin += 1,
-        }
+        self.add(kind, 1);
     }
 
-    /// Total delivered messages across all categories.
+    /// Records `n` delivered messages of one kind.
+    pub fn add(&mut self, kind: MessageKind, n: u64) {
+        self.delivered[kind.index()] += n;
+    }
+
+    /// Delivered count for one kind.
+    pub fn get(&self, kind: MessageKind) -> u64 {
+        self.delivered[kind.index()]
+    }
+
+    /// Total delivered messages across all categories (drops excluded).
     pub fn total(&self) -> u64 {
-        self.npi + self.cc + self.tight + self.span + self.freeze + self.nadmin + self.badmin
+        self.delivered.iter().sum()
+    }
+
+    /// `(kind, delivered)` pairs in Table II order.
+    pub fn per_kind(&self) -> impl Iterator<Item = (MessageKind, u64)> + '_ {
+        MessageKind::ALL.iter().map(move |&k| (k, self.get(k)))
     }
 
     /// Adds another run's counters into this one.
     pub fn merge(&mut self, other: &MessageStats) {
-        self.npi += other.npi;
-        self.cc += other.cc;
-        self.tight += other.tight;
-        self.span += other.span;
-        self.freeze += other.freeze;
-        self.nadmin += other.nadmin;
-        self.badmin += other.badmin;
+        for (slot, v) in self.delivered.iter_mut().zip(other.delivered) {
+            *slot += v;
+        }
         self.dropped += other.dropped;
+    }
+}
+
+impl std::ops::Index<MessageKind> for MessageStats {
+    type Output = u64;
+
+    fn index(&self, kind: MessageKind) -> &u64 {
+        &self.delivered[kind.index()]
     }
 }
 
@@ -166,14 +188,32 @@ mod tests {
     #[test]
     fn kinds_map_one_to_one() {
         let samples = [
-            Message::Npi { chunk: ChunkId::new(0) },
-            Message::CollectContention { from: NodeId::new(1) },
-            Message::ContentionReply { from: NodeId::new(1), degree: 3, load: 2 },
-            Message::Tight { from: NodeId::new(1) },
-            Message::Span { from: NodeId::new(1) },
-            Message::Freeze { provider: NodeId::new(2) },
-            Message::NAdmin { admin: NodeId::new(2) },
-            Message::BAdmin { admin: NodeId::new(2) },
+            Message::Npi {
+                chunk: ChunkId::new(0),
+            },
+            Message::CollectContention {
+                from: NodeId::new(1),
+            },
+            Message::ContentionReply {
+                from: NodeId::new(1),
+                degree: 3,
+                load: 2,
+            },
+            Message::Tight {
+                from: NodeId::new(1),
+            },
+            Message::Span {
+                from: NodeId::new(1),
+            },
+            Message::Freeze {
+                provider: NodeId::new(2),
+            },
+            Message::NAdmin {
+                admin: NodeId::new(2),
+            },
+            Message::BAdmin {
+                admin: NodeId::new(2),
+            },
         ];
         let kinds: Vec<MessageKind> = samples.iter().map(Message::kind).collect();
         // CC request and reply share a bucket; everything else distinct.
@@ -187,25 +227,48 @@ mod tests {
         stats.record(MessageKind::Tight);
         stats.record(MessageKind::Tight);
         stats.record(MessageKind::Freeze);
-        assert_eq!(stats.tight, 2);
+        assert_eq!(stats[MessageKind::Tight], 2);
+        assert_eq!(stats.get(MessageKind::Freeze), 1);
         assert_eq!(stats.total(), 3);
     }
 
     #[test]
     fn stats_merge_accumulates() {
-        let mut a = MessageStats {
-            npi: 1,
-            dropped: 2,
-            ..Default::default()
-        };
-        let b = MessageStats {
-            npi: 3,
-            span: 4,
-            ..Default::default()
-        };
+        let mut a = MessageStats::default();
+        a.record(MessageKind::Npi);
+        a.dropped = 2;
+        let mut b = MessageStats::default();
+        b.add(MessageKind::Npi, 3);
+        b.add(MessageKind::Span, 4);
         a.merge(&b);
-        assert_eq!(a.npi, 4);
-        assert_eq!(a.span, 4);
+        assert_eq!(a[MessageKind::Npi], 4);
+        assert_eq!(a[MessageKind::Span], 4);
         assert_eq!(a.dropped, 2);
+    }
+
+    #[test]
+    fn indices_follow_table_ii_order() {
+        for (i, kind) in MessageKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let labels: Vec<&str> = MessageKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            ["NPI", "CC", "TIGHT", "SPAN", "FREEZE", "NADMIN", "BADMIN"]
+        );
+    }
+
+    /// `total()` must equal the sum over every kind, and `dropped` must
+    /// stay outside it: a dropped message was never delivered.
+    #[test]
+    fn total_is_sum_of_kinds_and_excludes_dropped() {
+        let mut stats = MessageStats::default();
+        for (i, kind) in MessageKind::ALL.iter().enumerate() {
+            stats.add(*kind, (i + 1) as u64);
+        }
+        stats.dropped = 1000;
+        let by_kind: u64 = stats.per_kind().map(|(_, n)| n).sum();
+        assert_eq!(stats.total(), by_kind);
+        assert_eq!(stats.total(), (1..=7).sum::<u64>());
     }
 }

@@ -10,9 +10,13 @@ use std::cell::RefCell;
 use peercache_core::costs::CostWeights;
 use peercache_core::instance::ConflInstance;
 use peercache_core::placement::Placement;
-use peercache_core::planner::{commit_chunk, prune_unused_facilities, CachePlanner};
+use peercache_core::planner::{
+    chunk_span, commit_chunk, finish_chunk_span, prune_unused_facilities, CachePlanner,
+};
 use peercache_core::{ChunkId, CoreError, Network};
 use peercache_graph::paths::PathSelection;
+
+use peercache_obs as obs;
 
 use crate::engine::{LossConfig, Tick};
 use crate::protocol::MessageStats;
@@ -49,6 +53,9 @@ impl Default for DistributedConfig {
 pub struct RunReport {
     /// Message counters summed over all chunk rounds (CC included).
     pub messages: MessageStats,
+    /// Message counters for each chunk's round (CC included), in chunk
+    /// order; `messages` is their sum.
+    pub per_chunk: Vec<MessageStats>,
     /// Ticks to convergence, one entry per chunk.
     pub ticks_per_chunk: Vec<Tick>,
     /// Clients that fell back to the producer, per chunk.
@@ -107,15 +114,25 @@ impl CachePlanner for DistributedPlanner {
         }
         let mut report = RunReport::default();
         let mut placement = Placement::default();
+        let mut plan_span = obs::span!(
+            "dist.plan",
+            chunks = chunk_count,
+            k_hops = self.config.k_hops
+        );
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
+            let planner_span = chunk_span("Dist", chunk);
+            let round_span = obs::span!("dist.round", chunk = q);
             // CC exchange against the current caching state.
             let (views, cc_stats) = build_views(net, self.config.k_hops);
-            report.messages.merge(&cc_stats);
+            let mut round_stats = cc_stats;
             let outcome = run_chunk_round(net, &views, chunk, &self.config.sim);
-            report.messages.merge(&outcome.stats);
+            round_stats.merge(&outcome.stats);
+            report.messages.merge(&round_stats);
+            report.per_chunk.push(round_stats);
             report.ticks_per_chunk.push(outcome.ticks);
             report.fallbacks_per_chunk.push(outcome.producer_fallbacks);
+            emit_round_record(round_span, &round_stats, &outcome);
             // Report costs with the shared global model so Dist is
             // comparable with Appx/Brtf/Hopc/Cont.
             let inst = ConflInstance::build_for_chunk(
@@ -128,16 +145,44 @@ impl CachePlanner for DistributedPlanner {
             // information a distributed node does not have. Only the
             // assignment-level prune (an artifact of reporting) runs.
             let admins = prune_unused_facilities(net, &inst, &outcome.admins);
-            placement.push(commit_chunk(net, &inst, chunk, &admins)?);
+            let cp = commit_chunk(net, &inst, chunk, &admins)?;
+            finish_chunk_span(planner_span, &cp);
+            placement.push(cp);
         }
+        plan_span.add_field("messages_total", obs::Value::from(report.messages.total()));
+        plan_span.add_field("dropped", obs::Value::from(report.messages.dropped));
+        drop(plan_span);
         *self.last_report.borrow_mut() = report;
         Ok(placement)
     }
 }
 
+/// Closes one chunk round's span with the per-kind delivered counters,
+/// drops, convergence ticks, and election outcome.
+fn emit_round_record(
+    mut span: obs::Span,
+    stats: &MessageStats,
+    outcome: &crate::sim::RoundOutcome,
+) {
+    if !span.is_recording() {
+        return;
+    }
+    for (kind, n) in stats.per_kind() {
+        span.add_field(kind.label(), obs::Value::from(n));
+    }
+    span.add_field("dropped", obs::Value::from(stats.dropped));
+    span.add_field("ticks", obs::Value::from(outcome.ticks));
+    span.add_field("admins", obs::Value::from(outcome.admins.len()));
+    span.add_field(
+        "producer_fallbacks",
+        obs::Value::from(outcome.producer_fallbacks),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::MessageKind;
     use peercache_core::metrics;
     use peercache_core::workload::paper_grid;
 
@@ -150,8 +195,26 @@ mod tests {
         let report = planner.last_report();
         assert_eq!(report.ticks_per_chunk.len(), 3);
         assert!(report.messages.total() > 0);
-        assert!(report.messages.cc > 0);
-        assert!(report.messages.npi > 0);
+        assert!(report.messages[MessageKind::Cc] > 0);
+        assert!(report.messages[MessageKind::Npi] > 0);
+    }
+
+    #[test]
+    fn per_chunk_stats_sum_to_the_report_total() {
+        let mut net = paper_grid(5).unwrap();
+        let planner = DistributedPlanner::default();
+        planner.plan(&mut net, 3).unwrap();
+        let report = planner.last_report();
+        assert_eq!(report.per_chunk.len(), 3);
+        let mut summed = MessageStats::default();
+        for s in &report.per_chunk {
+            summed.merge(s);
+        }
+        assert_eq!(summed, report.messages);
+        // The delivered/dropped split is an invariant of the report:
+        // total() is exactly the per-kind sum, drops live outside it.
+        let by_kind: u64 = report.messages.per_kind().map(|(_, n)| n).sum();
+        assert_eq!(report.messages.total(), by_kind);
     }
 
     #[test]
@@ -179,7 +242,10 @@ mod tests {
         DistributedPlanner::default().plan(&mut net, 5).unwrap();
         let loads: Vec<usize> = net.clients().map(|c| net.used(c)).collect();
         let g = metrics::gini(&loads);
-        assert!(g < 0.6, "distributed gini {g} should beat fixed-set baselines");
+        assert!(
+            g < 0.6,
+            "distributed gini {g} should beat fixed-set baselines"
+        );
         let distinct = loads.iter().filter(|&&l| l > 0).count();
         assert!(distinct >= 8, "only {distinct} caching nodes used");
     }

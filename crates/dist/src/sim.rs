@@ -18,6 +18,8 @@ use peercache_graph::paths::bfs_hops;
 use peercache_graph::NodeId;
 
 use crate::engine::{Engine, JitterConfig, LossConfig, Tick};
+use peercache_obs as obs;
+
 use crate::protocol::{Message, MessageStats};
 use crate::view::LocalView;
 
@@ -183,14 +185,22 @@ pub fn run_chunk_round(
                 }
                 if !st.tight_sent[idx] && st.alpha >= cost {
                     st.tight_sent[idx] = true;
-                    engine.send(view.members()[idx], view.hops(idx), Message::Tight { from: j });
+                    engine.send(
+                        view.members()[idx],
+                        view.hops(idx),
+                        Message::Tight { from: j },
+                    );
                 }
                 if st.tight_sent[idx] {
                     st.beta[idx] += cfg.u_beta;
                     st.gamma[idx] += cfg.u_gamma;
                     if !st.span_sent[idx] && st.gamma[idx] >= cost {
                         st.span_sent[idx] = true;
-                        engine.send(view.members()[idx], view.hops(idx), Message::Span { from: j });
+                        engine.send(
+                            view.members()[idx],
+                            view.hops(idx),
+                            Message::Span { from: j },
+                        );
                     }
                 }
             }
@@ -224,9 +234,24 @@ pub fn run_chunk_round(
         .clients()
         .filter(|&i| states[i.index()].phase == Phase::Admin)
         .collect();
+    let stats = *engine.stats();
+    if obs::enabled() {
+        let mut fields = vec![
+            ("chunk", obs::Value::from(chunk.index())),
+            ("converged_tick", obs::Value::from(tick)),
+            ("converged", obs::Value::from(tick < cfg.max_ticks)),
+            ("admins", obs::Value::from(admins.len())),
+            ("producer_fallbacks", obs::Value::from(fallbacks)),
+            ("dropped", obs::Value::from(stats.dropped)),
+        ];
+        for (kind, n) in stats.per_kind() {
+            fields.push((kind.label(), obs::Value::from(n)));
+        }
+        obs::event("dist.sim.converged", &fields);
+    }
     RoundOutcome {
         admins,
-        stats: *engine.stats(),
+        stats,
         ticks: tick,
         producer_fallbacks: fallbacks,
     }
@@ -252,7 +277,11 @@ fn handle_message(
         Message::Tight { from } | Message::Span { from } => {
             let is_span = matches!(msg, Message::Span { .. });
             let phase = states[to.index()].phase;
-            if !states[to.index()].requesters.iter().any(|&(r, _)| r == from) {
+            if !states[to.index()]
+                .requesters
+                .iter()
+                .any(|&(r, _)| r == from)
+            {
                 states[to.index()].requesters.push((from, now));
             }
             match phase {
@@ -282,15 +311,13 @@ fn handle_message(
             }
         }
         Message::Freeze { .. } => {
-            if states[to.index()].phase == Phase::Active
-                || states[to.index()].phase == Phase::Idle
+            if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
                 states[to.index()].phase = Phase::Frozen;
             }
         }
         Message::NAdmin { admin } => {
-            if states[to.index()].phase == Phase::Active
-                || states[to.index()].phase == Phase::Idle
+            if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
                 states[to.index()].phase = Phase::Frozen;
                 // Our pending requesters can reach the chunk through us.
@@ -379,6 +406,7 @@ fn try_promote(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::MessageKind;
     use crate::view::build_views;
     use peercache_core::workload::paper_grid;
 
@@ -393,8 +421,8 @@ mod tests {
         let out = round(6, 2, &SimConfig::default());
         assert!(out.ticks < SimConfig::default().max_ticks);
         assert!(!out.admins.is_empty(), "a 6x6 grid should elect caches");
-        assert!(out.stats.tight > 0);
-        assert!(out.stats.span > 0);
+        assert!(out.stats[MessageKind::Tight] > 0);
+        assert!(out.stats[MessageKind::Span] > 0);
     }
 
     #[test]
@@ -477,7 +505,10 @@ mod tests {
             ..Default::default()
         };
         let out = round(5, 2, &cfg);
-        assert!(out.ticks < cfg.max_ticks, "lossy round must still terminate");
+        assert!(
+            out.ticks < cfg.max_ticks,
+            "lossy round must still terminate"
+        );
         assert!(out.stats.dropped > 0);
     }
 }

@@ -12,7 +12,7 @@ use peercache_core::Network;
 use peercache_graph::paths::{k_hop_neighborhood, AllPairsPaths, PathSelection};
 use peercache_graph::NodeId;
 
-use crate::protocol::MessageStats;
+use crate::protocol::{MessageKind, MessageStats};
 
 /// One node's view of its k-hop neighborhood.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ pub fn build_views(net: &Network, k_hops: u32) -> (Vec<LocalView>, MessageStats)
     for center in graph.nodes() {
         let members = k_hop_neighborhood(graph, center, k_hops);
         if center != net.producer() {
-            stats.cc += 2 * members.len() as u64;
+            stats.add(MessageKind::Cc, 2 * members.len() as u64);
         }
         // Induced subgraph over {center} ∪ members with *global* node
         // terms (each node reports its own degree and load).
@@ -130,7 +130,7 @@ mod tests {
         let center = &views[12];
         assert_eq!(center.center(), NodeId::new(12));
         assert_eq!(center.members().len(), 12);
-        assert!(stats.cc > 0);
+        assert!(stats[MessageKind::Cc] > 0);
     }
 
     #[test]
@@ -161,7 +161,7 @@ mod tests {
         let (_, stats) = build_views(&net, 2);
         // Every client pays 2 messages per member; just sanity-check the
         // total is consistent with 8 clients.
-        assert!(stats.cc >= 16);
+        assert!(stats[MessageKind::Cc] >= 16);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use peercache_core::planner::CachePlanner;
 use peercache_core::workload::{paper_grid, paper_random, ScenarioBuilder, Topology};
 use peercache_core::ChunkId;
 use peercache_dist::engine::{JitterConfig, LossConfig};
+use peercache_dist::protocol::MessageKind;
 use peercache_dist::sim::{run_chunk_round, SimConfig};
 use peercache_dist::view::build_views;
 use peercache_dist::{DistributedConfig, DistributedPlanner};
@@ -104,7 +105,7 @@ fn elected_admins_respect_remaining_capacity() {
 fn single_round_outcome_is_consistent_with_views() {
     let net = paper_grid(5).unwrap();
     let (views, cc) = build_views(&net, 2);
-    assert!(cc.cc > 0);
+    assert!(cc[MessageKind::Cc] > 0);
     let out = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
     // Admins are clients, unique, and within the node range.
     let mut admins = out.admins.clone();
@@ -116,6 +117,6 @@ fn single_round_outcome_is_consistent_with_views() {
     }
     // Every tick accounted: stats non-trivial when admins were elected.
     if !out.admins.is_empty() {
-        assert!(out.stats.nadmin > 0 || out.stats.badmin > 0);
+        assert!(out.stats[MessageKind::NAdmin] > 0 || out.stats[MessageKind::BAdmin] > 0);
     }
 }

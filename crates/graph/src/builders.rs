@@ -115,7 +115,9 @@ pub fn complete(n: usize) -> Graph {
 /// assert!(components::is_connected(&g));
 /// ```
 pub fn random_geometric<R: Rng + ?Sized>(n: usize, range: f64, rng: &mut R) -> Graph {
-    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut g = Graph::new(n);
     let range2 = range * range;
     for u in 0..n {

@@ -33,7 +33,10 @@ impl fmt::Display for GraphError {
                 "node {node} is out of bounds for a graph with {node_count} nodes"
             ),
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::NoTerminals => write!(f, "terminal set is empty"),
@@ -60,9 +63,11 @@ mod tests {
             GraphError::Disconnected.to_string(),
             "graph is not connected"
         );
-        assert!(GraphError::SelfLoop { node: NodeId::new(1) }
-            .to_string()
-            .contains("self-loop"));
+        assert!(GraphError::SelfLoop {
+            node: NodeId::new(1)
+        }
+        .to_string()
+        .contains("self-loop"));
         assert!(GraphError::NoTerminals.to_string().contains("empty"));
     }
 

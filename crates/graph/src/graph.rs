@@ -248,10 +248,7 @@ impl Graph {
     /// assert_eq!(original[1], NodeId::new(2));
     /// # Ok::<(), peercache_graph::GraphError>(())
     /// ```
-    pub fn induced_subgraph(
-        &self,
-        keep: &[NodeId],
-    ) -> Result<(Graph, Vec<NodeId>), GraphError> {
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> Result<(Graph, Vec<NodeId>), GraphError> {
         for &n in keep {
             self.check_node(n)?;
         }
@@ -346,7 +343,12 @@ mod tests {
     fn self_loop_rejected() {
         let mut g = Graph::new(2);
         let err = g.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
@@ -369,10 +371,7 @@ mod tests {
     #[test]
     fn edges_iterates_each_edge_once() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
-        let edges: Vec<(usize, usize)> = g
-            .edges()
-            .map(|(u, v)| (u.index(), v.index()))
-            .collect();
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
         assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
     }
 

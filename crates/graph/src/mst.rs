@@ -107,11 +107,7 @@ impl UnionFind {
 /// ```
 pub fn kruskal(n: usize, edges: &[(usize, usize, f64)]) -> Vec<(usize, usize, f64)> {
     let mut sorted: Vec<(usize, usize, f64)> = edges.to_vec();
-    sorted.sort_by(|a, b| {
-        a.2.total_cmp(&b.2)
-            .then(a.0.cmp(&b.0))
-            .then(a.1.cmp(&b.1))
-    });
+    sorted.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
     let mut uf = UnionFind::new(n);
     let mut out = Vec::new();
     for (u, v, w) in sorted {

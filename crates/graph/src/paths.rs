@@ -203,9 +203,8 @@ impl AllPairsPaths {
                 let cand_hops = hops[u] + 1;
                 let cand = Key::new(selection, cand_cost, cand_hops);
                 let cur = Key::new(selection, cost[vi], hops[vi]);
-                let better = cand < cur
-                    || (cand == cur
-                        && parent[vi].is_some_and(|p| NodeId::new(u) < p));
+                let better =
+                    cand < cur || (cand == cur && parent[vi].is_some_and(|p| NodeId::new(u) < p));
                 if better {
                     cost[vi] = cand_cost;
                     hops[vi] = cand_hops;
@@ -462,8 +461,7 @@ mod tests {
         // Square 0-1, 0-2, 1-3, 2-3 with node 1 very expensive.
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         let costs = vec![1.0, 100.0, 1.0, 1.0];
-        let hop_first =
-            AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let hop_first = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
         let cost_first = AllPairsPaths::compute(&g, &costs, PathSelection::MinCost).unwrap();
         // Both routes are 2 hops; tie broken by cost, so both avoid node 1 here.
         assert_eq!(hop_first.cost(NodeId::new(0), NodeId::new(3)), 3.0);

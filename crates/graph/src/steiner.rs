@@ -136,7 +136,11 @@ where
     // Step 4: MST of the expanded subgraph, then prune non-terminal
     // leaves repeatedly.
     let node_list: Vec<NodeId> = sub_nodes.iter().copied().collect();
-    let index_of = |n: NodeId| node_list.binary_search(&n).expect("node is in the subgraph");
+    let index_of = |n: NodeId| {
+        node_list
+            .binary_search(&n)
+            .expect("node is in the subgraph")
+    };
     let weighted: Vec<(usize, usize, f64)> = sub_edges
         .iter()
         .map(|&(u, v)| (index_of(u), index_of(v), weight(u, v)))
@@ -234,16 +238,22 @@ mod tests {
     #[test]
     fn duplicate_terminals_are_deduplicated() {
         let g = builders::path(3);
-        let tree =
-            steiner_tree(&g, &[NodeId::new(0), NodeId::new(0), NodeId::new(2)], |_, _| 1.0)
-                .unwrap();
+        let tree = steiner_tree(
+            &g,
+            &[NodeId::new(0), NodeId::new(0), NodeId::new(2)],
+            |_, _| 1.0,
+        )
+        .unwrap();
         assert_eq!(tree.cost, 2.0);
     }
 
     #[test]
     fn no_terminals_is_an_error() {
         let g = builders::path(3);
-        assert_eq!(steiner_tree(&g, &[], |_, _| 1.0), Err(GraphError::NoTerminals));
+        assert_eq!(
+            steiner_tree(&g, &[], |_, _| 1.0),
+            Err(GraphError::NoTerminals)
+        );
     }
 
     #[test]

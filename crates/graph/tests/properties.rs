@@ -9,13 +9,16 @@ use peercache_graph::paths::{
 use peercache_graph::{analysis, builders, components, steiner, Graph, NodeId};
 
 fn connected_graph() -> impl Strategy<Value = Graph> {
-    (4usize..40, 0u64..1000, prop_oneof![Just(0.05f64), Just(0.15), Just(0.4)]).prop_map(
-        |(n, seed, p)| {
+    (
+        4usize..40,
+        0u64..1000,
+        prop_oneof![Just(0.05f64), Just(0.15), Just(0.4)],
+    )
+        .prop_map(|(n, seed, p)| {
             use rand::SeedableRng;
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             builders::erdos_renyi_connected(n, p, &mut rng)
-        },
-    )
+        })
 }
 
 proptest! {

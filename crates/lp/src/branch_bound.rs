@@ -191,7 +191,10 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_integer_var("x", 0.4, 0.6, 1.0);
         let _ = x;
-        assert!(matches!(solve_milp(&m, &Default::default()), Err(LpError::Infeasible)));
+        assert!(matches!(
+            solve_milp(&m, &Default::default()),
+            Err(LpError::Infeasible)
+        ));
     }
 
     #[test]

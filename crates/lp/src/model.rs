@@ -263,11 +263,7 @@ impl Model {
     ///
     /// Panics if `values` has fewer entries than the model has variables.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(values)
-            .map(|(c, x)| c * x)
-            .sum()
+        self.objective.iter().zip(values).map(|(c, x)| c * x).sum()
     }
 
     /// Checks a point against all constraints and bounds within `tol`.

@@ -323,8 +323,7 @@ fn run_simplex(
                 let better = match leave {
                     None => true,
                     Some((best, row)) => {
-                        ratio < best - EPS
-                            || (ratio < best + EPS && basis[i] < basis[row])
+                        ratio < best - EPS || (ratio < best + EPS && basis[i] < basis[row])
                     }
                 };
                 if better {
@@ -492,7 +491,11 @@ mod tests {
         let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
         for k in 1..=6 {
-            m.add_constraint(vec![(x, k as f64), (y, k as f64)], Relation::Le, 4.0 * k as f64);
+            m.add_constraint(
+                vec![(x, k as f64), (y, k as f64)],
+                Relation::Le,
+                4.0 * k as f64,
+            );
         }
         let sol = solve_lp(&m).unwrap();
         assert!(close(sol.objective, 4.0));

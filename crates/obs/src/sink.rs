@@ -1,0 +1,111 @@
+//! The JSONL sink behind `PEERCACHE_TRACE`.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::value::{write_json_string, Value};
+
+/// Where trace records go.
+enum Sink {
+    Stderr,
+    Stdout,
+    File(Mutex<File>),
+}
+
+static SINK: OnceLock<Option<Sink>> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn sink() -> &'static Option<Sink> {
+    SINK.get_or_init(|| {
+        let target = std::env::var("PEERCACHE_TRACE").unwrap_or_default();
+        match target.as_str() {
+            "" | "0" | "off" => None,
+            "stderr" => Some(Sink::Stderr),
+            "stdout" => Some(Sink::Stdout),
+            path => match OpenOptions::new().create(true).append(true).open(path) {
+                Ok(f) => Some(Sink::File(Mutex::new(f))),
+                Err(e) => {
+                    eprintln!("peercache-obs: cannot open PEERCACHE_TRACE={path}: {e}");
+                    None
+                }
+            },
+        }
+    })
+}
+
+/// Returns `true` when `PEERCACHE_TRACE` selected a sink.
+///
+/// The first call latches the environment variable for the process
+/// lifetime; callers can treat this as a cheap atomic load.
+pub fn enabled() -> bool {
+    sink().is_some()
+}
+
+/// Microseconds since the process's first observability call.
+pub(crate) fn ts_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Serializes one record and writes it as a line. `kind` and `name` are
+/// emitted first, then `extra` (pre-rendered JSON members, e.g.
+/// `"dur_us":12`), then the fields.
+pub(crate) fn write_record(kind: &str, name: &str, extra: &str, fields: &[(&str, Value)]) {
+    let Some(sink) = sink() else { return };
+    let mut line = String::with_capacity(96 + 24 * fields.len());
+    line.push_str("{\"ts_us\":");
+    {
+        use std::fmt::Write as _;
+        let _ = write!(line, "{}", ts_us());
+    }
+    line.push_str(",\"kind\":\"");
+    line.push_str(kind);
+    line.push_str("\",\"name\":");
+    write_json_string(&mut line, name);
+    if !extra.is_empty() {
+        line.push(',');
+        line.push_str(extra);
+    }
+    for (key, value) in fields {
+        line.push(',');
+        write_json_string(&mut line, key);
+        line.push(':');
+        value.write_json(&mut line);
+    }
+    line.push_str("}\n");
+    match sink {
+        Sink::Stderr => {
+            let _ = std::io::stderr().lock().write_all(line.as_bytes());
+        }
+        Sink::Stdout => {
+            let _ = std::io::stdout().lock().write_all(line.as_bytes());
+        }
+        Sink::File(file) => {
+            if let Ok(mut f) = file.lock() {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// Flushes the sink (meaningful for file sinks; no-op otherwise).
+pub fn flush() {
+    if let Some(Sink::File(file)) = sink() {
+        if let Ok(mut f) = file.lock() {
+            let _ = f.flush();
+        }
+    }
+}
+
+/// Writes every registered metric as one record (counters, gauges,
+/// histograms). No-op when tracing is off.
+pub fn emit_metrics() {
+    if !enabled() {
+        return;
+    }
+    for snap in crate::metrics::snapshot_metrics() {
+        write_record(snap.kind, &snap.name, &snap.body, &[]);
+    }
+    flush();
+}

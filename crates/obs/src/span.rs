@@ -1,0 +1,96 @@
+//! RAII span timers and fire-and-forget events.
+
+use std::time::Instant;
+
+use crate::sink::{enabled, write_record};
+use crate::value::Value;
+
+/// A timed section of code. Created by [`span`] (or the [`crate::span!`]
+/// macro); the record is emitted when the span is dropped.
+///
+/// When tracing is off the span holds nothing and does nothing.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// Starts a span named `name`. Near-zero-cost no-op when tracing is
+/// off (no allocation, no clock read).
+pub fn span(name: &'static str) -> Span {
+    let inner = enabled().then(|| SpanInner {
+        name,
+        start: Instant::now(),
+        fields: Vec::new(),
+    });
+    Span { inner }
+}
+
+impl Span {
+    /// Attaches a field (no-op when tracing is off).
+    pub fn add_field(&mut self, key: &'static str, value: Value) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value));
+        }
+    }
+
+    /// Whether this span will emit a record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let dur_us = inner.start.elapsed().as_micros() as u64;
+            write_record(
+                "span",
+                inner.name,
+                &format!("\"dur_us\":{dur_us}"),
+                &inner.fields,
+            );
+        }
+    }
+}
+
+/// Emits an instantaneous event record with the given fields. Callers
+/// that build fields dynamically should guard with [`enabled`] (the
+/// [`crate::event!`] macro does).
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if enabled() {
+        write_record("event", name, "", fields);
+    }
+}
+
+/// A phase stopwatch for breaking one span into consecutive stages:
+/// each [`Stopwatch::lap_us`] returns the microseconds since the
+/// previous lap (or since start). Reads no clock when tracing is off —
+/// laps then return 0.
+#[derive(Debug)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Starts the stopwatch (no-op when tracing is off).
+    pub fn start() -> Self {
+        Stopwatch(enabled().then(Instant::now))
+    }
+
+    /// Microseconds since the previous lap, restarting the lap timer.
+    pub fn lap_us(&mut self) -> u64 {
+        match &mut self.0 {
+            Some(t) => {
+                let e = t.elapsed().as_micros() as u64;
+                *t = Instant::now();
+                e
+            }
+            None => 0,
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Typed field values and their JSON encoding.
+
+use std::borrow::Cow;
+
+/// A field value attached to a span, event or metric record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values encode as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (borrowed when `'static`).
+    Str(Cow<'static, str>),
+}
+
+impl Value {
+    /// Appends the JSON encoding of this value to `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => write_json_string(out, s),
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_value_from {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+
+impl_value_from!(
+    u8 => U64 as u64,
+    u16 => U64 as u64,
+    u32 => U64 as u64,
+    u64 => U64 as u64,
+    usize => U64 as u64,
+    i8 => I64 as i64,
+    i16 => I64 as i64,
+    i32 => I64 as i64,
+    i64 => I64 as i64,
+    isize => I64 as i64,
+    f32 => F64 as f64,
+    f64 => F64 as f64,
+);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Cow::Owned(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(v: Value) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_encode_as_json() {
+        assert_eq!(json(Value::from(7u32)), "7");
+        assert_eq!(json(Value::from(-3i64)), "-3");
+        assert_eq!(json(Value::from(true)), "true");
+        assert_eq!(json(Value::from(1.5f64)), "1.5");
+        assert_eq!(json(Value::from(f64::NAN)), "null");
+        assert_eq!(json(Value::from(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(json(Value::from("plain")), "\"plain\"");
+        assert_eq!(
+            json(Value::from("a\"b\\c\nd".to_string())),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(json(Value::from("\u{1}".to_string())), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,24 @@
+//! The disabled path: with `PEERCACHE_TRACE` unset the API must be a
+//! no-op — spans don't record, events don't write, and metrics still
+//! count (they are always-on atomics, independent of the sink).
+
+use peercache_obs as obs;
+
+#[test]
+fn disabled_tracing_is_inert_but_metrics_count() {
+    std::env::remove_var("PEERCACHE_TRACE");
+    assert!(!obs::enabled());
+
+    let sp = obs::span!("noop.span", weight = 9u64);
+    assert!(!sp.is_recording());
+    drop(sp);
+    obs::event!("noop.event", x = 1u64);
+    obs::event("noop.direct", &[("y", obs::Value::from(2u64))]);
+    obs::emit_metrics();
+    obs::flush();
+
+    obs::counter("noop.counter").add(5);
+    assert_eq!(obs::counter("noop.counter").get(), 5);
+    obs::reset_metrics();
+    assert_eq!(obs::counter("noop.counter").get(), 0);
+}

@@ -1,0 +1,115 @@
+//! End-to-end sink test: runs in its own test binary (own process), so
+//! setting `PEERCACHE_TRACE` before the first observability call
+//! latches the file sink for the whole test.
+//!
+//! Everything is exercised from a single `#[test]` because the sink is
+//! process-global: parallel test threads would race the latch.
+
+use peercache_obs as obs;
+
+/// Minimal structural JSON check: balanced braces/brackets outside
+/// strings, no trailing garbage. Not a full parser, but enough to catch
+/// broken escaping or missing separators in the hand-rolled encoder.
+fn assert_valid_jsonish(line: &str) {
+    let line = line.trim();
+    assert!(
+        line.starts_with('{') && line.ends_with('}'),
+        "not an object: {line}"
+    );
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced braces in {line}");
+    }
+    assert_eq!(depth, 0, "unbalanced braces in {line}");
+    assert!(!in_string, "unterminated string in {line}");
+}
+
+#[test]
+fn file_sink_captures_spans_events_and_metrics() {
+    let path =
+        std::env::temp_dir().join(format!("peercache-obs-test-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("PEERCACHE_TRACE", &path);
+
+    assert!(obs::enabled(), "file sink should have latched");
+
+    {
+        let mut sp = obs::span!("test.outer", chunk = 3usize, planner = "Appx");
+        sp.add_field("cost", obs::Value::from(12.25f64));
+        obs::event!(
+            "test.mark",
+            ok = true,
+            detail = "with \"quotes\" and \\slashes".to_string()
+        );
+        let _inner = obs::span!("test.inner");
+    }
+    obs::counter("test.sink.msgs").add(41);
+    obs::counter("test.sink.msgs").incr();
+    obs::histogram("test.sink.lat_us").record(250);
+    obs::emit_metrics();
+    obs::flush();
+
+    let content = std::fs::read_to_string(&path).expect("trace file exists");
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(lines.len() >= 5, "expected >=5 records, got: {content}");
+    for line in &lines {
+        assert_valid_jsonish(line);
+        assert!(line.contains("\"ts_us\":"), "missing ts_us: {line}");
+    }
+
+    // Spans carry durations and fields; inner closes before outer.
+    let outer = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"test.outer\""))
+        .expect("outer span recorded");
+    assert!(outer.contains("\"kind\":\"span\""));
+    assert!(outer.contains("\"dur_us\":"));
+    assert!(outer.contains("\"chunk\":3"));
+    assert!(outer.contains("\"planner\":\"Appx\""));
+    assert!(outer.contains("\"cost\":12.25"));
+    let outer_idx = lines.iter().position(|l| l.contains("test.outer")).unwrap();
+    let inner_idx = lines.iter().position(|l| l.contains("test.inner")).unwrap();
+    assert!(inner_idx < outer_idx, "RAII: inner span must close first");
+
+    // Events carry escaped strings.
+    let event = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"test.mark\""))
+        .expect("event recorded");
+    assert!(event.contains("\"ok\":true"));
+    assert!(event.contains("\\\"quotes\\\""));
+
+    // Metrics snapshot records.
+    let counter = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"test.sink.msgs\""))
+        .expect("counter snapshot recorded");
+    assert!(counter.contains("\"kind\":\"counter\""));
+    assert!(counter.contains("\"value\":42"));
+    let hist = lines
+        .iter()
+        .find(|l| l.contains("\"name\":\"test.sink.lat_us\""))
+        .expect("histogram snapshot recorded");
+    assert!(hist.contains("\"count\":1"));
+    assert!(hist.contains("\"sum\":250"));
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -16,7 +16,10 @@ fn main() -> Result<(), CoreError> {
     const CHUNKS: usize = 5;
 
     println!("hop-limit sweep on a 6x6 campus grid ({CHUNKS} chunks):");
-    println!("{:>4} {:>12} {:>8} {:>10} {:>10}", "k", "contention", "gini", "messages", "fallbacks");
+    println!(
+        "{:>4} {:>12} {:>8} {:>10} {:>10}",
+        "k", "contention", "gini", "messages", "fallbacks"
+    );
     for k in 1..=4 {
         let mut net = paper_grid(6)?;
         let planner = DistributedPlanner::with_k_hops(k);
@@ -39,13 +42,9 @@ fn main() -> Result<(), CoreError> {
     planner.plan(&mut net, CHUNKS)?;
     let m = planner.last_report().messages;
     println!("\nmessage budget at k = 2 (Table II categories):");
-    println!("  NPI    : {:6}", m.npi);
-    println!("  CC     : {:6}", m.cc);
-    println!("  TIGHT  : {:6}", m.tight);
-    println!("  SPAN   : {:6}", m.span);
-    println!("  FREEZE : {:6}", m.freeze);
-    println!("  NADMIN : {:6}", m.nadmin);
-    println!("  BADMIN : {:6}", m.badmin);
+    for (kind, count) in m.per_kind() {
+        println!("  {:<7}: {count:6}", kind.label());
+    }
     println!("  total  : {:6}  (bound: O(QN + N^2))", m.total());
 
     // Fault injection: the protocol still converges when a fifth of all

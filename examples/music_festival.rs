@@ -20,18 +20,21 @@ fn describe(net: &Network, placement: &Placement, name: &str) {
     let hot = loads.iter().max().copied().unwrap_or(0);
     let caching = loads.iter().filter(|&&l| l > 0).count();
     println!("\n== {name} ==");
-    println!("  total contention cost : {:9.1}", placement.total_contention_cost());
+    println!(
+        "  total contention cost : {:9.1}",
+        placement.total_contention_cost()
+    );
     println!("  gini coefficient      : {:.3}", metrics::gini(&loads));
     println!(
         "  75-percentile fairness: {:.1}%",
         100.0 * metrics::p_percentile_fairness(&loads, 0.75)
     );
-    println!("  phones caching        : {caching}/{} (hottest: {hot} chunks)", loads.len());
+    println!(
+        "  phones caching        : {caching}/{} (hottest: {hot} chunks)",
+        loads.len()
+    );
     // Saturated phones are the ones whose owners would quit.
-    let saturated = net
-        .clients()
-        .filter(|&n| net.remaining(n) == 0)
-        .count();
+    let saturated = net.clients().filter(|&n| net.remaining(n) == 0).count();
     println!("  phones at capacity    : {saturated}");
 }
 
@@ -57,8 +60,8 @@ fn main() -> Result<(), CoreError> {
     describe(&fair_net, &fair, "fairness-aware (Appx)");
 
     let mut cont_net = build()?;
-    let cont = GreedyBaselinePlanner::contention(BaselineConfig::default())
-        .plan(&mut cont_net, CHUNKS)?;
+    let cont =
+        GreedyBaselinePlanner::contention(BaselineConfig::default()).plan(&mut cont_net, CHUNKS)?;
     describe(&cont_net, &cont, "contention-only (Cont)");
 
     let fair_loads: Vec<usize> = fair_net.clients().map(|n| fair_net.used(n)).collect();

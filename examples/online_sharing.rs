@@ -19,15 +19,15 @@ fn main() -> Result<(), CoreError> {
     let mut cache = OnlineCache::new(network, ApproxConfig::default()).with_retention(RETENTION);
 
     println!("online session: {ARRIVALS} arrivals, retention window {RETENTION} chunks\n");
-    println!("{:>6} {:>7} {:>12} {:>8} {:>14}", "chunk", "copies", "contention", "gini", "storage used");
+    println!(
+        "{:>6} {:>7} {:>12} {:>8} {:>14}",
+        "chunk", "copies", "contention", "gini", "storage used"
+    );
     let mut peak_gini: f64 = 0.0;
     for _ in 0..ARRIVALS {
         let placed = cache.insert_chunk()?;
-        let (chunk, copies, contention) = (
-            placed.chunk,
-            placed.caches.len(),
-            placed.contention_cost(),
-        );
+        let (chunk, copies, contention) =
+            (placed.chunk, placed.caches.len(), placed.contention_cost());
         let net = cache.network();
         let loads: Vec<usize> = net.clients().map(|n| net.used(n)).collect();
         let used: usize = loads.iter().sum();

@@ -39,7 +39,10 @@ fn main() -> Result<(), CoreError> {
     println!("  fairness degree cost : {:9.2}", costs.fairness);
     println!("  accessing contention : {:9.2}", costs.access);
     println!("  dissemination        : {:9.2}", costs.dissemination);
-    println!("  total contention     : {:9.2}", placement.total_contention_cost());
+    println!(
+        "  total contention     : {:9.2}",
+        placement.total_contention_cost()
+    );
 
     let loads: Vec<usize> = network.clients().map(|n| network.used(n)).collect();
     println!("\nfairness:");

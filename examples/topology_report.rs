@@ -58,6 +58,9 @@ fn main() -> Result<(), CoreError> {
     let placement = ApproxPlanner::default().plan(&mut fair_net, 5)?;
     println!("\nfairness-aware placement:");
     println!("{}", report::render(&fair_net, &placement));
-    println!("load map (producer = *):\n{}", report::render_grid_loads(&fair_net, 6));
+    println!(
+        "load map (producer = *):\n{}",
+        report::render_grid_loads(&fair_net, 6)
+    );
     Ok(())
 }

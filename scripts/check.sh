@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, build, tests.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --fast   # skip the release build
+#
+# Mirrors what reviewers run; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+if [[ $fast -eq 0 ]]; then
+    run cargo build --workspace --release
+fi
+run cargo test --workspace -q
+echo "==> all checks passed"

@@ -1,0 +1,22 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release --bin repro              # run summary
+//! cargo run --release --bin repro -- all
+//! cargo run --release --bin repro -- fig2 fig6 fig7
+//! ```
+//!
+//! With no arguments a compact run summary is produced: every planner on
+//! every reference topology, with wall time, cost breakdown and message
+//! counts. Tables are printed and written as CSV to `target/repro/`.
+//!
+//! Set `PEERCACHE_TRACE=stderr` (or a file path) to also stream JSONL
+//! telemetry — per-chunk planner spans, dual-ascent statistics, and
+//! per-round protocol message counters (see `peercache_bench::repro`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    peercache_bench::repro::main_with_args(&args)
+}

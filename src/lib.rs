@@ -15,6 +15,7 @@
 //! | [`lp`] | `peercache-lp` | simplex + branch-and-bound MILP |
 //! | [`approx`], [`exact`], [`baselines`], ... | `peercache-core` | the caching algorithms and metrics |
 //! | [`dist`] | `peercache-dist` | the distributed protocol on a message simulator |
+//! | [`obs`] | `peercache-obs` | zero-dependency tracing, metrics, JSONL telemetry |
 //!
 //! # Quickstart
 //!
@@ -41,12 +42,12 @@
 
 pub use peercache_core::{
     approx, baselines, costs, exact, instance, metrics, online, placement, planner, report,
-    workload,
-    ChunkId, CoreError, Network,
+    workload, ChunkId, CoreError, Network,
 };
 pub use peercache_dist as dist;
 pub use peercache_graph as graph;
 pub use peercache_lp as lp;
+pub use peercache_obs as obs;
 
 /// Convenient glob import for examples and tests.
 ///

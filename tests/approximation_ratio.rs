@@ -25,9 +25,13 @@ fn ratio_on_small_grids_is_within_bound() {
                 .unwrap()
         };
         let mut exact_net = build();
-        let exact = BruteForcePlanner::default().plan(&mut exact_net, chunks).unwrap();
+        let exact = BruteForcePlanner::default()
+            .plan(&mut exact_net, chunks)
+            .unwrap();
         let mut appx_net = build();
-        let appx = ApproxPlanner::default().plan(&mut appx_net, chunks).unwrap();
+        let appx = ApproxPlanner::default()
+            .plan(&mut appx_net, chunks)
+            .unwrap();
         let ratio = total_objective(&appx) / total_objective(&exact);
         assert!(
             ratio <= 6.55 + 1e-9,
@@ -61,7 +65,9 @@ fn ratio_on_random_networks_is_within_bound() {
             .unwrap()
         };
         let mut exact_net = build();
-        let exact = BruteForcePlanner::default().plan(&mut exact_net, 2).unwrap();
+        let exact = BruteForcePlanner::default()
+            .plan(&mut exact_net, 2)
+            .unwrap();
         let mut appx_net = build();
         let appx = ApproxPlanner::default().plan(&mut appx_net, 2).unwrap();
         let ratio = total_objective(&appx) / total_objective(&exact);
@@ -87,7 +93,9 @@ fn single_chunk_exact_dominates_approx() {
                 .unwrap()
         };
         let mut exact_net = build();
-        let exact = BruteForcePlanner::default().plan(&mut exact_net, 1).unwrap();
+        let exact = BruteForcePlanner::default()
+            .plan(&mut exact_net, 1)
+            .unwrap();
         let mut appx_net = build();
         let appx = ApproxPlanner::default().plan(&mut appx_net, 1).unwrap();
         let ratio = total_objective(&appx) / total_objective(&exact);
@@ -109,13 +117,20 @@ fn distributed_ratio_stays_moderate() {
             .unwrap()
     };
     let mut exact_net = build();
-    let exact = BruteForcePlanner::default().plan(&mut exact_net, 3).unwrap();
+    let exact = BruteForcePlanner::default()
+        .plan(&mut exact_net, 3)
+        .unwrap();
     let mut dist_net = build();
-    let dist = DistributedPlanner::default().plan(&mut dist_net, 3).unwrap();
+    let dist = DistributedPlanner::default()
+        .plan(&mut dist_net, 3)
+        .unwrap();
     let ratio = total_objective(&dist) / total_objective(&exact);
     // The distributed variant has no proven bound (k-hop information
     // only); empirically it stays in the same ballpark.
-    assert!(ratio < 6.55, "distributed ratio {ratio:.3} unexpectedly high");
+    assert!(
+        ratio < 6.55,
+        "distributed ratio {ratio:.3} unexpectedly high"
+    );
 }
 
 #[test]

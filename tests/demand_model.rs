@@ -12,11 +12,8 @@ fn corner_audience(net: &mut Network, chunk: usize) {
     let n = net.node_count();
     let side = (n as f64).sqrt() as usize;
     let corners = [0, side - 1, n - side, n - 1];
-    net.set_interest(
-        ChunkId::new(chunk),
-        corners.into_iter().map(NodeId::new),
-    )
-    .unwrap();
+    net.set_interest(ChunkId::new(chunk), corners.into_iter().map(NodeId::new))
+        .unwrap();
 }
 
 #[test]

@@ -33,7 +33,11 @@ fn check_placement(net: &Network, placement: &Placement, who: &str) {
             assert_ne!(c, net.producer(), "{who}: producer in cache set");
         }
         // Every client is assigned to a node that can serve the chunk.
-        assert_eq!(cp.assignment.len(), net.node_count() - 1, "{who}: missing clients");
+        assert_eq!(
+            cp.assignment.len(),
+            net.node_count() - 1,
+            "{who}: missing clients"
+        );
         for &(client, provider) in &cp.assignment {
             assert_ne!(client, net.producer());
             assert!(
@@ -113,7 +117,11 @@ fn planners_handle_chunks_beyond_total_capacity() {
         assert_eq!(placement.chunks().len(), 12, "{}", planner.name());
         check_placement(&net, &placement, planner.name());
         let last = placement.chunks().last().unwrap();
-        assert!(last.caches.is_empty(), "{}: storage was exhausted", planner.name());
+        assert!(
+            last.caches.is_empty(),
+            "{}: storage was exhausted",
+            planner.name()
+        );
     }
 }
 
@@ -144,8 +152,7 @@ fn identical_scenarios_produce_identical_plans() {
 fn plan_on_copy_leaves_the_original_untouched() {
     let net = paper_grid(4).unwrap();
     let planner = ApproxPlanner::default();
-    let (placement, final_state) =
-        peercache::planner::plan_on_copy(&planner, &net, 3).unwrap();
+    let (placement, final_state) = peercache::planner::plan_on_copy(&planner, &net, 3).unwrap();
     assert_eq!(net.load_vector(), vec![0; 16]);
     assert_eq!(placement.chunks().len(), 3);
     assert!(final_state.load_vector().iter().sum::<usize>() > 0);

@@ -50,8 +50,18 @@ fn grid_outcomes() -> (Outcome, Outcome, Outcome, Outcome) {
 fn fairness_ordering_matches_figure_6_and_7() {
     let (appx, dist, hopc, cont) = grid_outcomes();
     // Gini: fair algorithms < Cont < ~Hopc (paper Fig. 7).
-    assert!(appx.gini < cont.gini, "appx {:.3} vs cont {:.3}", appx.gini, cont.gini);
-    assert!(dist.gini < cont.gini, "dist {:.3} vs cont {:.3}", dist.gini, cont.gini);
+    assert!(
+        appx.gini < cont.gini,
+        "appx {:.3} vs cont {:.3}",
+        appx.gini,
+        cont.gini
+    );
+    assert!(
+        dist.gini < cont.gini,
+        "dist {:.3} vs cont {:.3}",
+        dist.gini,
+        cont.gini
+    );
     assert!(cont.gini <= hopc.gini + 1e-9);
     // Paper: "our algorithms have Gini coefficient less than 40%".
     assert!(appx.gini < 0.4, "appx gini {:.3}", appx.gini);
@@ -69,7 +79,10 @@ fn contention_cost_ordering_matches_figure_2() {
     assert!(hopc.total_contention > cont.total_contention);
     // Appx is comparable to Cont (paper: within ~9% either way).
     let rel = (appx.total_contention - cont.total_contention) / cont.total_contention;
-    assert!(rel < 0.15, "appx should be within 15% of cont, got {rel:+.2}");
+    assert!(
+        rel < 0.15,
+        "appx should be within 15% of cont, got {rel:+.2}"
+    );
     // Dist is comparable too, with a looser budget (k-hop info only).
     let rel_d = (dist.total_contention - cont.total_contention) / cont.total_contention;
     assert!(rel_d < 0.25, "dist within 25% of cont, got {rel_d:+.2}");
@@ -103,7 +116,10 @@ fn hop_limit_sweep_matches_figure_3() {
         costs[1]
     );
     let plateau = (costs[1] - costs[2]).abs() / costs[1];
-    assert!(plateau < 0.15, "k=2 vs k=3 should be close, got {plateau:.2}");
+    assert!(
+        plateau < 0.15,
+        "k=2 vs k=3 should be close, got {plateau:.2}"
+    );
 }
 
 #[test]
@@ -118,14 +134,20 @@ fn gini_stays_low_across_network_sizes() {
         ApproxPlanner::default().plan(&mut net, 5).unwrap();
         let loads: Vec<usize> = net.clients().map(|n| net.used(n)).collect();
         let g = metrics::gini(&loads);
-        assert!(g < 0.4, "{side}x{side}: appx gini {g:.3} above the paper's band");
+        assert!(
+            g < 0.4,
+            "{side}x{side}: appx gini {g:.3} above the paper's band"
+        );
 
         let mut bnet = paper_grid(side).unwrap();
         GreedyBaselinePlanner::hop_count(BaselineConfig::default())
             .plan(&mut bnet, 5)
             .unwrap();
         let bloads: Vec<usize> = bnet.clients().map(|n| bnet.used(n)).collect();
-        assert!(metrics::gini(&bloads) > 2.0 * g, "{side}x{side}: baseline not far above");
+        assert!(
+            metrics::gini(&bloads) > 2.0 * g,
+            "{side}x{side}: baseline not far above"
+        );
     }
 }
 

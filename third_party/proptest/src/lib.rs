@@ -1,0 +1,215 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-io access, so this in-tree crate
+//! implements the subset of proptest the workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`, tuple /
+//! range / [`strategy::Just`] / union / collection strategies,
+//! `any::<bool>()`, the [`proptest!`] test macro with
+//! `proptest_config`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   generated values' `Debug` where the assertion formats them; cases
+//!   are deterministic per (test name, case index), so failures are
+//!   reproducible by re-running the test.
+//! * **Deterministic RNG.** Upstream seeds from the OS and persists
+//!   regressions in `*.proptest-regressions`; this stand-in derives
+//!   the stream from the test's module path, so every run covers the
+//!   same cases (regression files are ignored).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy for "any value of `T`" (the [`Arbitrary`] types).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// The strategy `any` returns.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// Builds the whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Whole-domain strategy carrier for [`Arbitrary`] scalars.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyScalar<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_scalar {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl strategy::Strategy for AnyScalar<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let f: fn(&mut test_runner::TestRng) -> $t = $gen;
+                f(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyScalar<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyScalar(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_scalar! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+}
+
+/// The glob-import surface mirrored from upstream.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Builds a union strategy choosing uniformly among the listed
+/// same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not the process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (skipped, not failed) when the assumption
+/// does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn` runs `config.cases` deterministic
+/// cases of its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategies = ($($strategy,)*);
+            let mut rejected = 0u32;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case}/{} of {} failed: {msg}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+            assert!(
+                rejected < config.cases,
+                "every case of {} was rejected by prop_assume!",
+                stringify!($name),
+            );
+        }
+    )*};
+}
