@@ -127,6 +127,42 @@ pub fn run_summary(topologies: &[(&str, Network)], chunks: usize) -> Table {
     table
 }
 
+/// Wall-time scaling of the approximation planner with topology size:
+/// one row per grid side, so the run summary shows at a glance how the
+/// planning hot path behaves as the network grows.
+pub fn planner_walltime_by_size(sides: &[usize], chunks: usize) -> Table {
+    let mut table = Table::new(
+        "planner_walltime",
+        &format!("Appx planner wall time by topology size, {chunks} chunks"),
+        &["topology", "nodes", "chunks", "wall_ms", "cost_total"],
+    );
+    for &side in sides {
+        let net = peercache_core::workload::paper_grid(side)
+            .unwrap_or_else(|e| panic!("cannot build grid{side}: {e}"));
+        let planner = ApproxPlanner::default();
+        let start = Instant::now();
+        let (placement, _) = run_planner(&planner, &net, chunks);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let costs = placement.total_costs();
+        obs::event!(
+            "bench.walltime_by_size",
+            topology = format!("grid{side}"),
+            nodes = side * side,
+            chunks = chunks,
+            wall_ms = wall_ms,
+            cost_total = costs.total(),
+        );
+        table.push_row(vec![
+            format!("grid{side}"),
+            (side * side).to_string(),
+            chunks.to_string(),
+            f3(wall_ms),
+            f1(costs.total()),
+        ]);
+    }
+    table
+}
+
 /// A printable/serializable result table.
 #[derive(Debug, Clone)]
 pub struct Table {

@@ -8,7 +8,7 @@ use peercache_core::workload::{paper_grid, paper_random};
 use peercache_obs as obs;
 
 use crate::figs;
-use crate::harness::run_summary;
+use crate::harness::{planner_walltime_by_size, run_summary};
 
 /// Runs the no-argument mode: a compact summary of every planner on
 /// every reference topology (wall time, cost breakdown, messages).
@@ -29,6 +29,7 @@ fn summary() -> ExitCode {
         }
     }
     run_summary(&built, 3).emit();
+    planner_walltime_by_size(&[4, 8, 12, 16, 20], 3).emit();
     obs::emit_metrics();
     ExitCode::SUCCESS
 }

@@ -31,17 +31,17 @@
 //! algorithm where TIGHT/SPAN requests go to *other* nodes; a client
 //! whose own node opens still serves itself at zero cost afterwards.
 
-use peercache_graph::paths::PathSelection;
+use peercache_graph::paths::{Parallelism, PathSelection};
 use peercache_graph::NodeId;
 
-use crate::costs::CostWeights;
+use crate::costs::{ContentionMatrix, CostWeights};
 use crate::instance::ConflInstance;
 use crate::placement::Placement;
 use peercache_obs as obs;
 
 use crate::planner::{
-    chunk_span, commit_chunk, finish_chunk_span, improve_by_removal, prune_unused_facilities,
-    CachePlanner,
+    chunk_span, commit_chunk, finish_chunk_span, improve_by_removal, improve_by_removal_reference,
+    prune_unused_facilities, CachePlanner,
 };
 use crate::{ChunkId, CoreError, Network};
 
@@ -61,6 +61,15 @@ pub struct ApproxConfig {
     pub weights: CostWeights,
     /// Path routing model for the contention metric.
     pub selection: PathSelection,
+    /// Thread fan-out for the all-pairs shortest-path phases. Purely a
+    /// wall-clock knob: every setting produces byte-identical plans.
+    pub parallelism: Parallelism,
+    /// Test-only escape hatch: run the original unoptimized pipeline —
+    /// full contention recompute every chunk and the fixed-increment
+    /// round-scanning dual ascent. The optimized path is proven against
+    /// this oracle by the determinism regression tests; production code
+    /// has no reason to enable it.
+    pub reference_mode: bool,
 }
 
 impl Default for ApproxConfig {
@@ -80,6 +89,8 @@ impl Default for ApproxConfig {
             span_threshold: 1,
             weights: CostWeights::default(),
             selection: PathSelection::FewestHops,
+            parallelism: Parallelism::Auto,
+            reference_mode: false,
         }
     }
 }
@@ -121,6 +132,10 @@ pub struct DualAscentStats {
 /// Runs the dual ascent for one chunk and returns the opened facility
 /// set (sorted) plus statistics.
 ///
+/// Dispatches to the event-driven implementation unless
+/// [`ApproxConfig::reference_mode`] asks for the original
+/// round-scanning loop; both produce byte-identical results.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidParameter`] for non-positive increments
@@ -131,6 +146,20 @@ pub fn dual_ascent(
     cfg: &ApproxConfig,
 ) -> Result<(Vec<NodeId>, DualAscentStats), CoreError> {
     cfg.validate()?;
+    if cfg.reference_mode {
+        dual_ascent_reference(net, inst, cfg)
+    } else {
+        dual_ascent_fast(inst, cfg)
+    }
+}
+
+/// The original fixed-increment round loop, kept verbatim as the oracle
+/// the optimized ascent is regression-tested against.
+fn dual_ascent_reference(
+    net: &Network,
+    inst: &ConflInstance,
+    cfg: &ApproxConfig,
+) -> Result<(Vec<NodeId>, DualAscentStats), CoreError> {
     let n = net.node_count();
     let producer = inst.producer();
     let clients: Vec<NodeId> = inst.clients().to_vec();
@@ -292,6 +321,328 @@ pub fn dual_ascent(
     Ok((facilities, stats))
 }
 
+/// Pays `adds` per-round contributions of `u_beta` into a facility's
+/// resource-bid total, each capped by the remaining room up to the
+/// fairness cost `f` — the exact fold the reference loop performs, so
+/// the saturated total lands on the same bit pattern.
+fn accrue_beta(beta_sum: &mut f64, f: f64, u_beta: f64, adds: usize) {
+    for _ in 0..adds {
+        let room = f - *beta_sum;
+        if room <= 0.0 {
+            break;
+        }
+        *beta_sum += u_beta.min(room);
+    }
+}
+
+/// Smallest round `r ≥ 1` with `r·u_alpha ≥ c`, i.e. the round at which
+/// a bid of cost `c` goes tight. The `ceil` guess is fixed up in both
+/// directions so floating-point division error cannot shift the event
+/// by a round. `None` for unreachable (non-finite) costs.
+fn tight_round_of(c: f64, u_alpha: f64) -> Option<u64> {
+    if !c.is_finite() {
+        return None;
+    }
+    if c <= u_alpha {
+        return Some(1);
+    }
+    let mut t = (c / u_alpha).ceil();
+    while t * u_alpha < c {
+        t += 1.0;
+    }
+    while t > 1.0 && (t - 1.0) * u_alpha >= c {
+        t -= 1.0;
+    }
+    Some(t as u64)
+}
+
+/// Event-driven dual ascent, byte-identical to
+/// [`dual_ascent_reference`].
+///
+/// Three observations collapse the reference loop's per-round
+/// `O(n²)` scans:
+///
+/// 1. Every unfrozen client's bid is `α = r·U_α` — a single scalar per
+///    round; a frozen client's bid is never read again.
+/// 2. The per-pair `β_ij`/`γ_ij` matrices are only ever *read* as
+///    "is this pair contributing?", and a pair `(i, j)` contributes in
+///    round `r` exactly when `i` is closed, `j` is unfrozen and
+///    `r·U_α ≥ c_ij`. The round each pair first activates is therefore
+///    known up front (`tight_round_of`), so pairs are bucket-sorted by
+///    activation round and drained with a cursor, and each candidate
+///    only needs its *count* of active supporters (`tight`).
+/// 3. Rounds with no activation, no freeze and no opening change state
+///    by a predictable amount, so the loop computes the round of the
+///    next event (next α-freeze, next pair activation, next possible
+///    opening) and jumps straight to the round before it, batch-paying
+///    the skipped rounds' β/γ contributions. The bounds are
+///    conservative lower bounds: undershooting just executes a few
+///    exact (cheap) rounds; events themselves always run exactly.
+fn dual_ascent_fast(
+    inst: &ConflInstance,
+    cfg: &ApproxConfig,
+) -> Result<(Vec<NodeId>, DualAscentStats), CoreError> {
+    let producer = inst.producer();
+    let clients: Vec<NodeId> = inst.clients().to_vec();
+    let candidates: Vec<NodeId> = inst.candidates();
+    let nc = clients.len();
+    let ncand = candidates.len();
+    let m_weight = inst.weights().dissemination;
+
+    // Same termination bound as the reference loop, same error message.
+    let max_producer_cost = clients
+        .iter()
+        .map(|&j| inst.connection_cost(producer, j))
+        .fold(0.0f64, f64::max);
+    let round_cap = (max_producer_cost / cfg.u_alpha).ceil() as usize + 2;
+    let cap = round_cap as u64;
+
+    let mut ascent_span = obs::span!(
+        "core.dual_ascent",
+        clients = clients.len(),
+        candidates = candidates.len(),
+    );
+
+    // Per-client: cheapest open facility (producer to start) and the
+    // closed candidates whose pair went tight while the client was
+    // unfrozen (walked to decrement supporter counts on freeze).
+    let mut frozen = vec![false; nc];
+    let mut freeze_c: Vec<f64> = clients
+        .iter()
+        .map(|&j| inst.connection_cost(producer, j))
+        .collect();
+    let mut tight_lists: Vec<Vec<u32>> = vec![Vec::new(); nc];
+
+    // Per-candidate: bid totals, live supporter count, shrinking
+    // attachment estimate.
+    let mut open = vec![false; ncand];
+    let mut beta_sum = vec![0.0f64; ncand];
+    let mut gamma_sum = vec![0.0f64; ncand];
+    let mut tight = vec![0usize; ncand];
+    let f_cost: Vec<f64> = candidates.iter().map(|&i| inst.facility_cost(i)).collect();
+    let mut attach: Vec<f64> = candidates
+        .iter()
+        .map(|&i| inst.connection_cost(producer, i))
+        .collect();
+
+    // All (candidate, client) pairs keyed by first-tight round,
+    // counting-sorted when the round range is dense enough (order
+    // within a round is irrelevant — only counts reach the totals).
+    let mut pairs: Vec<(u64, u32, u32)> = Vec::new();
+    for (is, &i) in candidates.iter().enumerate() {
+        for (js, &j) in clients.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(r) = tight_round_of(inst.connection_cost(i, j), cfg.u_alpha) {
+                if r <= cap {
+                    pairs.push((r, is as u32, js as u32));
+                }
+            }
+        }
+    }
+    let max_round = pairs.iter().map(|p| p.0).max().unwrap_or(0) as usize;
+    if max_round <= pairs.len().saturating_mul(8) + 1024 {
+        let mut counts = vec![0usize; max_round + 2];
+        for p in &pairs {
+            counts[p.0 as usize + 1] += 1;
+        }
+        for r in 1..counts.len() {
+            counts[r] += counts[r - 1];
+        }
+        let mut sorted = vec![(0u64, 0u32, 0u32); pairs.len()];
+        for p in &pairs {
+            let slot = &mut counts[p.0 as usize];
+            sorted[*slot] = *p;
+            *slot += 1;
+        }
+        pairs = sorted;
+    } else {
+        pairs.sort_unstable_by_key(|p| p.0);
+    }
+    let mut cursor = 0usize;
+
+    let mut unfrozen_left = nc;
+    let mut r: u64 = 0;
+    let mut exact_rounds = 0usize;
+    let mut tight_events = 0usize;
+    while unfrozen_left > 0 {
+        r += 1;
+        if r > cap {
+            return Err(CoreError::InvalidParameter(format!(
+                "dual ascent failed to converge within {round_cap} rounds"
+            )));
+        }
+        exact_rounds += 1;
+        let alpha = r as f64 * cfg.u_alpha;
+
+        // Step 2 of the reference loop: freeze clients tight with an
+        // open facility (producer included).
+        for js in 0..nc {
+            if !frozen[js] && alpha >= freeze_c[js] {
+                frozen[js] = true;
+                unfrozen_left -= 1;
+                tight_events += 1;
+                for &is in &tight_lists[js] {
+                    tight[is as usize] -= 1;
+                }
+            }
+        }
+        if unfrozen_left == 0 {
+            // Steps 3–4 are no-ops with no unfrozen contributors
+            // (span_threshold ≥ 1 blocks openings), as in the reference.
+            break;
+        }
+
+        // Step 3, split: (a) activate pairs going tight this round...
+        while cursor < pairs.len() && pairs[cursor].0 <= r {
+            debug_assert_eq!(pairs[cursor].0, r, "pair activation round was skipped");
+            let (_, is, js) = pairs[cursor];
+            cursor += 1;
+            if !frozen[js as usize] && !open[is as usize] {
+                tight[is as usize] += 1;
+                tight_lists[js as usize].push(is);
+            }
+        }
+        // ...(b) pay this round's contributions per candidate.
+        for is in 0..ncand {
+            let t = tight[is];
+            if open[is] || t == 0 {
+                continue;
+            }
+            accrue_beta(&mut beta_sum[is], f_cost[is], cfg.u_beta, t);
+            gamma_sum[is] += t as f64 * cfg.u_gamma;
+        }
+
+        // Step 4: open the best-supported paid-up candidate (smallest
+        // id on ties — slot order is id order), freeze its supporters,
+        // shrink attachment estimates.
+        let mut best: Option<(usize, usize)> = None;
+        for is in 0..ncand {
+            if open[is] || beta_sum[is] + 1e-12 < f_cost[is] {
+                continue;
+            }
+            if gamma_sum[is] + 1e-12 < m_weight * attach[is] {
+                continue;
+            }
+            let supporters = tight[is];
+            if supporters >= cfg.span_threshold && best.is_none_or(|(bs, _)| supporters > bs) {
+                best = Some((supporters, is));
+            }
+        }
+        if let Some((_, is_open)) = best {
+            open[is_open] = true;
+            let i = candidates[is_open];
+            for js in 0..nc {
+                let j = clients[js];
+                if frozen[js] || j == i {
+                    continue;
+                }
+                // A pair bid (β or γ) is nonzero iff it has activated,
+                // which for an unfrozen client means α ≥ c_ij now.
+                if alpha >= inst.connection_cost(i, j) {
+                    frozen[js] = true;
+                    unfrozen_left -= 1;
+                    for &is in &tight_lists[js] {
+                        tight[is as usize] -= 1;
+                    }
+                }
+            }
+            for (js, &j) in clients.iter().enumerate() {
+                let via = inst.connection_cost(i, j);
+                if via < freeze_c[js] {
+                    freeze_c[js] = via;
+                }
+            }
+            for (is, &k) in candidates.iter().enumerate() {
+                let via = inst.connection_cost(i, k);
+                if via < attach[is] {
+                    attach[is] = via;
+                }
+            }
+        }
+        if unfrozen_left == 0 {
+            break;
+        }
+
+        // Fast-forward: lower-bound the round of the next event and
+        // jump to just before it, batch-paying the skipped rounds.
+        let mut next_event = u64::MAX;
+        for js in 0..nc {
+            if frozen[js] {
+                continue;
+            }
+            let t = tight_round_of(freeze_c[js], cfg.u_alpha).unwrap_or(u64::MAX);
+            next_event = next_event.min(t.max(r + 1));
+        }
+        if cursor < pairs.len() {
+            next_event = next_event.min(pairs[cursor].0.max(r + 1));
+        }
+        for is in 0..ncand {
+            let t = tight[is];
+            if open[is] || t == 0 || t < cfg.span_threshold {
+                continue;
+            }
+            // Rounds until both bid targets could be met at the current
+            // accrual rate (β may saturate early, so this is a lower
+            // bound; supporter-count changes are events themselves and
+            // bound `next_event` through the clauses above).
+            let beta_rounds = if beta_sum[is] + 1e-12 >= f_cost[is] {
+                0
+            } else {
+                let need = f_cost[is] - 1e-12 - beta_sum[is];
+                (need / (t as f64 * cfg.u_beta)).floor().max(0.0) as u64
+            };
+            let attach_due = m_weight * attach[is];
+            let gamma_rounds = if gamma_sum[is] + 1e-12 >= attach_due {
+                0
+            } else {
+                let need = attach_due - 1e-12 - gamma_sum[is];
+                (need / (t as f64 * cfg.u_gamma)).floor().max(0.0) as u64
+            };
+            next_event = next_event.min(r + beta_rounds.max(gamma_rounds).max(1));
+        }
+        if next_event > r + 1 {
+            let k = (next_event - r - 1).min(cap.saturating_sub(r));
+            if k > 0 {
+                for is in 0..ncand {
+                    let t = tight[is];
+                    if open[is] || t == 0 {
+                        continue;
+                    }
+                    accrue_beta(
+                        &mut beta_sum[is],
+                        f_cost[is],
+                        cfg.u_beta,
+                        t.saturating_mul(k as usize),
+                    );
+                    gamma_sum[is] += k as f64 * t as f64 * cfg.u_gamma;
+                }
+                r += k;
+            }
+        }
+    }
+
+    let facilities: Vec<NodeId> = candidates
+        .iter()
+        .enumerate()
+        .filter(|&(is, _)| open[is])
+        .map(|(_, &i)| i)
+        .collect();
+    let stats = DualAscentStats {
+        rounds: r as usize,
+        opened: facilities.len(),
+        tight_events,
+    };
+    if ascent_span.is_recording() {
+        ascent_span.add_field("rounds", obs::Value::from(stats.rounds));
+        ascent_span.add_field("opened", obs::Value::from(stats.opened));
+        ascent_span.add_field("tight_events", obs::Value::from(stats.tight_events));
+        ascent_span.add_field("events", obs::Value::from(exact_rounds));
+    }
+    Ok((facilities, stats))
+}
+
 /// The approximation-algorithm planner ("Appx" in the figures).
 #[derive(Debug, Clone, Default)]
 pub struct ApproxPlanner {
@@ -314,28 +665,61 @@ impl CachePlanner for ApproxPlanner {
     fn plan(&self, net: &mut Network, chunk_count: usize) -> Result<Placement, CoreError> {
         self.config.validate()?;
         let mut placement = Placement::default();
+        // The contention matrix is carried from chunk to chunk and
+        // refreshed incrementally: committing a chunk only changes the
+        // contention terms of the nodes that started caching (plus the
+        // producer's load), so most shortest-path rows survive.
+        let mut carried: Option<(ContentionMatrix, Vec<NodeId>)> = None;
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
             let mut span = chunk_span("Appx", chunk);
             let mut clock = obs::Stopwatch::start();
-            let inst = ConflInstance::build_for_chunk(
-                net,
-                chunk,
-                self.config.weights,
-                self.config.selection,
-            )?;
+            let mut apsp_recomputed = net.node_count();
+            let inst = if self.config.reference_mode {
+                ConflInstance::build_for_chunk(
+                    net,
+                    chunk,
+                    self.config.weights,
+                    self.config.selection,
+                )?
+            } else {
+                let matrix = match carried.take() {
+                    Some((mut matrix, dirty)) => {
+                        apsp_recomputed = matrix.update(net, &dirty, self.config.parallelism)?;
+                        matrix
+                    }
+                    None => ContentionMatrix::compute_with(
+                        net,
+                        self.config.selection,
+                        self.config.parallelism,
+                    )?,
+                };
+                ConflInstance::build_for_chunk_with_matrix(net, chunk, self.config.weights, matrix)
+            };
             let build_us = clock.lap_us();
             let (facilities, stats) = dual_ascent(net, &inst, &self.config)?;
             let ascent_us = clock.lap_us();
             let facilities = prune_unused_facilities(net, &inst, &facilities);
             let prune_us = clock.lap_us();
-            let facilities = improve_by_removal(net, &inst, &facilities)?;
+            let facilities = if self.config.reference_mode {
+                improve_by_removal_reference(net, &inst, &facilities)?
+            } else {
+                improve_by_removal(net, &inst, &facilities)?
+            };
             let improve_us = clock.lap_us();
             let cp = commit_chunk(net, &inst, chunk, &facilities)?;
             // The commit phase evaluates the final set, which includes
             // building the Steiner dissemination tree.
             let steiner_commit_us = clock.lap_us();
+            if !self.config.reference_mode && q + 1 < chunk_count {
+                // Committing bumped S(k) on the new caches and the
+                // producer's load term; those are the only dirty nodes.
+                let mut dirty = cp.caches.clone();
+                dirty.push(net.producer());
+                carried = Some((inst.into_matrix(), dirty));
+            }
             if span.is_recording() {
+                span.add_field("apsp_recomputed", obs::Value::from(apsp_recomputed));
                 span.add_field("rounds", obs::Value::from(stats.rounds));
                 span.add_field("tight_events", obs::Value::from(stats.tight_events));
                 span.add_field("opened", obs::Value::from(stats.opened));
@@ -432,6 +816,82 @@ mod tests {
         let (_, s_slow) = dual_ascent(&net, &inst, &slow).unwrap();
         let (_, s_fast) = dual_ascent(&net, &inst, &fast).unwrap();
         assert!(s_fast.rounds <= s_slow.rounds);
+    }
+
+    #[test]
+    fn fast_ascent_matches_reference_bitwise() {
+        // The event-driven ascent must reproduce the reference loop
+        // exactly — facilities, round count, tight events — across
+        // increment configurations (including the non-default α steps
+        // exercised elsewhere).
+        for (ua, ub, ug, thr) in [
+            (1.0, 1.0, 8.0, 1),
+            (0.5, 1.0, 8.0, 1),
+            (5.0, 1.0, 8.0, 1),
+            (1.0, 0.5, 2.0, 2),
+            (2.0, 1.0, 4.0, 3),
+        ] {
+            let net = grid_net(6, 5);
+            let inst = build_inst(&net);
+            let cfg = ApproxConfig {
+                u_alpha: ua,
+                u_beta: ub,
+                u_gamma: ug,
+                span_threshold: thr,
+                ..Default::default()
+            };
+            let reference = ApproxConfig {
+                reference_mode: true,
+                ..cfg.clone()
+            };
+            let (f_fast, s_fast) = dual_ascent(&net, &inst, &cfg).unwrap();
+            let (f_ref, s_ref) = dual_ascent(&net, &inst, &reference).unwrap();
+            assert_eq!(f_fast, f_ref, "facilities diverged for {cfg:?}");
+            assert_eq!(s_fast, s_ref, "stats diverged for {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn fast_ascent_matches_reference_on_random_topologies() {
+        use rand::SeedableRng;
+        for seed in 0..6u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = builders::random_geometric(24, 0.35, &mut rng);
+            let net = Network::new(g, NodeId::new(0), 4).unwrap();
+            let inst = build_inst(&net);
+            let cfg = ApproxConfig::default();
+            let reference = ApproxConfig {
+                reference_mode: true,
+                ..cfg.clone()
+            };
+            let (f_fast, s_fast) = dual_ascent(&net, &inst, &cfg).unwrap();
+            let (f_ref, s_ref) = dual_ascent(&net, &inst, &reference).unwrap();
+            assert_eq!(f_fast, f_ref, "facilities diverged for seed {seed}");
+            assert_eq!(s_fast, s_ref, "stats diverged for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn planner_matches_reference_mode_plan() {
+        let placement = {
+            let mut net = grid_net(5, 4);
+            ApproxPlanner::default().plan(&mut net, 4).unwrap()
+        };
+        let reference = {
+            let mut net = grid_net(5, 4);
+            let cfg = ApproxConfig {
+                reference_mode: true,
+                ..Default::default()
+            };
+            ApproxPlanner::new(cfg).plan(&mut net, 4).unwrap()
+        };
+        assert_eq!(placement.chunks().len(), reference.chunks().len());
+        for (a, b) in placement.chunks().iter().zip(reference.chunks()) {
+            assert_eq!(a.chunk, b.chunk);
+            assert_eq!(a.caches, b.caches);
+            assert_eq!(a.assignment, b.assignment);
+            assert_eq!(a.costs.total().to_bits(), b.costs.total().to_bits());
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! * the **edge cost** `c_e = c_ij` for adjacent `i`, `j`, used by the
 //!   dissemination (Steiner) phase.
 
-use peercache_graph::paths::{AllPairsPaths, PathSelection};
+use peercache_graph::paths::{AllPairsPaths, Parallelism, PathSelection};
 use peercache_graph::NodeId;
 
 use crate::{CoreError, Network};
@@ -90,8 +90,13 @@ pub fn node_contention_terms(net: &Network) -> Vec<f64> {
 /// All-pairs Path Contention Costs for a caching state, plus the hop
 /// distances the Hop-Count baseline needs.
 ///
-/// A `ContentionMatrix` is a *snapshot*: it must be recomputed after the
-/// caching state changes (each planner does so once per chunk).
+/// A `ContentionMatrix` is a *snapshot* of one caching state. After the
+/// state changes it can either be recomputed from scratch
+/// ([`ContentionMatrix::compute`]) or refreshed in place with
+/// [`ContentionMatrix::update`], which re-runs shortest paths only for
+/// the sources whose routes pass *through* a node whose term changed —
+/// the committed chunks of the iterative planners touch a handful of
+/// nodes, so most rows survive untouched.
 #[derive(Debug, Clone)]
 pub struct ContentionMatrix {
     terms: Vec<f64>,
@@ -109,9 +114,64 @@ impl ContentionMatrix {
     /// Propagates [`CoreError::Graph`] on internal failures (cannot
     /// happen for a well-formed [`Network`]).
     pub fn compute(net: &Network, selection: PathSelection) -> Result<Self, CoreError> {
+        ContentionMatrix::compute_with(net, selection, Parallelism::Sequential)
+    }
+
+    /// Computes the matrix with a configurable thread fan-out for the
+    /// per-source shortest-path runs; byte-identical to
+    /// [`ContentionMatrix::compute`] for every [`Parallelism`] choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Graph`] on internal failures (cannot
+    /// happen for a well-formed [`Network`]).
+    pub fn compute_with(
+        net: &Network,
+        selection: PathSelection,
+        parallelism: Parallelism,
+    ) -> Result<Self, CoreError> {
         let terms = node_contention_terms(net);
-        let paths = AllPairsPaths::compute(net.graph(), &terms, selection)?;
+        let paths = AllPairsPaths::compute_with(net.graph(), &terms, selection, parallelism)?;
         Ok(ContentionMatrix { terms, paths })
+    }
+
+    /// Refreshes the matrix in place after the network's caching state
+    /// changed, recomputing only the invalidated shortest-path sources.
+    ///
+    /// `dirty` is the caller's account of which nodes changed caching
+    /// state since the snapshot (for the planners: the committed
+    /// facilities plus the producer, whose term tracks the distinct
+    /// chunk population). It is cross-checked in debug builds — the
+    /// actual invalidation diffs the recomputed per-node terms, so a
+    /// stale `dirty` set can never produce a wrong matrix.
+    ///
+    /// Returns the number of shortest-path sources recomputed. The
+    /// result is byte-identical to a fresh
+    /// [`ContentionMatrix::compute`] on the new state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Graph`] on internal failures (cannot
+    /// happen for a well-formed [`Network`]).
+    pub fn update(
+        &mut self,
+        net: &Network,
+        dirty: &[NodeId],
+        parallelism: Parallelism,
+    ) -> Result<usize, CoreError> {
+        let terms = node_contention_terms(net);
+        debug_assert!(
+            terms
+                .iter()
+                .zip(&self.terms)
+                .enumerate()
+                .all(|(k, (new, old))| new == old || dirty.contains(&NodeId::new(k))),
+            "a node outside the declared dirty set {dirty:?} changed its contention term"
+        );
+        let _ = dirty;
+        let recomputed = self.paths.update(net.graph(), &terms, parallelism)?;
+        self.terms = terms;
+        Ok(recomputed)
     }
 
     /// The Path Contention Cost `c_ij` (0 on the diagonal).
@@ -230,5 +290,44 @@ mod tests {
     fn default_weights_are_all_one() {
         let w = CostWeights::default();
         assert_eq!((w.fairness, w.contention, w.dissemination), (1.0, 1.0, 1.0));
+    }
+
+    fn assert_matrices_identical(a: &ContentionMatrix, b: &ContentionMatrix, net: &Network) {
+        for u in net.graph().nodes() {
+            assert_eq!(a.node_term(u).to_bits(), b.node_term(u).to_bits());
+            for v in net.graph().nodes() {
+                assert_eq!(a.cost(u, v).to_bits(), b.cost(u, v).to_bits(), "{u}->{v}");
+                assert_eq!(a.hops(u, v), b.hops(u, v));
+                assert_eq!(a.path(u, v), b.path(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn update_after_commits_matches_fresh_compute() {
+        let mut net = net();
+        let mut m = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        for (chunk, node) in [(0usize, 1usize), (1, 7), (2, 1)] {
+            net.cache(NodeId::new(node), ChunkId::new(chunk)).unwrap();
+            let dirty = [NodeId::new(node), net.producer()];
+            let redone = m.update(&net, &dirty, Parallelism::Sequential).unwrap();
+            assert!(redone <= net.node_count());
+            let fresh = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+            assert_matrices_identical(&m, &fresh, &net);
+        }
+    }
+
+    #[test]
+    fn parallel_compute_matches_sequential() {
+        let mut net = net();
+        net.cache(NodeId::new(3), ChunkId::new(0)).unwrap();
+        let seq = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        let par = ContentionMatrix::compute_with(
+            &net,
+            PathSelection::FewestHops,
+            Parallelism::Threads(3),
+        )
+        .unwrap();
+        assert_matrices_identical(&seq, &par, &net);
     }
 }

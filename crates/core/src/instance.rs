@@ -79,6 +79,37 @@ impl ConflInstance {
         ConflInstance::build_with_clients(net, weights, selection, net.interested_clients(chunk))
     }
 
+    /// Builds the instance for one chunk around an already-computed
+    /// contention snapshot — the fast path of the iterative planners,
+    /// which carry one [`ContentionMatrix`] across chunks and refresh it
+    /// with [`ContentionMatrix::update`] instead of recomputing all
+    /// shortest paths.
+    ///
+    /// `matrix` must reflect `net`'s *current* caching state; the
+    /// facility (fairness) costs are rebuilt here, so only the path
+    /// snapshot is taken on trust. Recover the matrix for the next chunk
+    /// with [`ConflInstance::into_matrix`].
+    pub fn build_for_chunk_with_matrix(
+        net: &Network,
+        chunk: ChunkId,
+        weights: CostWeights,
+        matrix: ContentionMatrix,
+    ) -> Self {
+        ConflInstance {
+            producer: net.producer(),
+            facility_cost: ConflInstance::facility_costs(net, weights),
+            matrix,
+            weights,
+            clients: net.interested_clients(chunk),
+        }
+    }
+
+    /// Consumes the instance, handing back its contention snapshot so
+    /// the next chunk can refresh it incrementally.
+    pub fn into_matrix(self) -> ContentionMatrix {
+        self.matrix
+    }
+
     fn build_with_clients(
         net: &Network,
         weights: CostWeights,
@@ -86,8 +117,17 @@ impl ConflInstance {
         clients: Vec<NodeId>,
     ) -> Result<Self, CoreError> {
         let matrix = ContentionMatrix::compute(net, selection)?;
-        let facility_cost = net
-            .graph()
+        Ok(ConflInstance {
+            producer: net.producer(),
+            facility_cost: ConflInstance::facility_costs(net, weights),
+            matrix,
+            weights,
+            clients,
+        })
+    }
+
+    fn facility_costs(net: &Network, weights: CostWeights) -> Vec<f64> {
+        net.graph()
             .nodes()
             .map(|i| {
                 // Weighted summation of the storage and battery
@@ -100,14 +140,7 @@ impl ConflInstance {
                     storage
                 }
             })
-            .collect();
-        Ok(ConflInstance {
-            producer: net.producer(),
-            facility_cost,
-            matrix,
-            weights,
-            clients,
-        })
+            .collect()
     }
 
     /// The ConFL clients of this instance (the chunk's audience),
@@ -210,6 +243,45 @@ impl ConflInstance {
         terminals.push(self.producer);
         let tree =
             steiner::steiner_tree(net.graph(), &terminals, |u, v| self.matrix.edge_cost(u, v))?;
+        let costs = SetCosts {
+            fairness,
+            access,
+            dissemination: self.weights.dissemination * tree.cost,
+        };
+        Ok((costs, assignment, tree.edges))
+    }
+
+    /// Like [`ConflInstance::evaluate_set`], but reuses a prebuilt
+    /// [`steiner::SteinerSolver`] for the dissemination tree instead of
+    /// re-running the per-terminal shortest paths — the win when many
+    /// facility subsets are evaluated against the same snapshot (the
+    /// planners' removal-improvement phase). Returns bit-for-bit the
+    /// same evaluation as [`ConflInstance::evaluate_set`].
+    ///
+    /// The solver's candidate set must cover `facilities` and the
+    /// producer, and its weight function must be this instance's
+    /// [`ContentionMatrix::edge_cost`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Graph`] with
+    /// [`peercache_graph::GraphError::UnknownTerminal`] if a facility
+    /// (or the producer) is outside the solver's candidates; otherwise
+    /// as [`ConflInstance::evaluate_set`].
+    pub fn evaluate_set_with<W>(
+        &self,
+        net: &Network,
+        facilities: &[NodeId],
+        solver: &steiner::SteinerSolver<W>,
+    ) -> Result<SetEvaluation, CoreError>
+    where
+        W: Fn(NodeId, NodeId) -> f64,
+    {
+        let fairness: f64 = facilities.iter().map(|&i| self.facility_cost(i)).sum();
+        let (assignment, access) = self.assign_clients(net, facilities);
+        let mut terminals: Vec<NodeId> = facilities.to_vec();
+        terminals.push(self.producer);
+        let tree = solver.tree(&terminals)?;
         let costs = SetCosts {
             fairness,
             access,
@@ -371,5 +443,80 @@ mod tests {
             dissemination: 3.0,
         };
         assert_eq!(c.total(), 6.0);
+    }
+
+    #[test]
+    fn matrix_roundtrip_build_matches_fresh_build() {
+        let mut net = net();
+        net.cache(NodeId::new(0), ChunkId::new(0)).unwrap();
+        let fresh = ConflInstance::build_for_chunk(
+            &net,
+            ChunkId::new(1),
+            CostWeights::default(),
+            PathSelection::FewestHops,
+        )
+        .unwrap();
+        let matrix =
+            crate::costs::ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        let rebuilt = ConflInstance::build_for_chunk_with_matrix(
+            &net,
+            ChunkId::new(1),
+            CostWeights::default(),
+            matrix,
+        );
+        assert_eq!(rebuilt.clients(), fresh.clients());
+        for i in net.graph().nodes() {
+            assert_eq!(
+                rebuilt.facility_cost(i).to_bits(),
+                fresh.facility_cost(i).to_bits()
+            );
+            for j in net.graph().nodes() {
+                assert_eq!(
+                    rebuilt.connection_cost(i, j).to_bits(),
+                    fresh.connection_cost(i, j).to_bits()
+                );
+            }
+        }
+        // The snapshot survives the round trip.
+        let back = rebuilt.into_matrix();
+        assert_eq!(
+            back.cost(NodeId::new(0), NodeId::new(8)).to_bits(),
+            fresh
+                .matrix()
+                .cost(NodeId::new(0), NodeId::new(8))
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn evaluate_set_with_solver_matches_evaluate_set() {
+        use peercache_graph::steiner::SteinerSolver;
+        let net = net();
+        let inst = instance(&net);
+        let sets: [&[NodeId]; 3] = [
+            &[],
+            &[NodeId::new(0)],
+            &[NodeId::new(0), NodeId::new(2), NodeId::new(8)],
+        ];
+        let mut candidates = vec![
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(8),
+            inst.producer(),
+        ];
+        candidates.sort_unstable();
+        let solver = SteinerSolver::new(net.graph(), &candidates, |u, v| {
+            inst.matrix().edge_cost(u, v)
+        })
+        .unwrap();
+        for set in sets {
+            let (c1, a1, t1) = inst.evaluate_set(&net, set).unwrap();
+            let (c2, a2, t2) = inst.evaluate_set_with(&net, set, &solver).unwrap();
+            assert_eq!(c1.fairness.to_bits(), c2.fairness.to_bits());
+            assert_eq!(c1.access.to_bits(), c2.access.to_bits());
+            assert_eq!(c1.dissemination.to_bits(), c2.dissemination.to_bits());
+            assert_eq!(a1, a2);
+            assert_eq!(t1, t2);
+        }
     }
 }

@@ -107,6 +107,59 @@ pub fn improve_by_removal(
     if current.is_empty() {
         return Ok(current);
     }
+    // Every set this search evaluates is a subset of the starting
+    // facilities plus the producer, so one Steiner solver's per-terminal
+    // shortest-path trees answer all the dissemination queries — instead
+    // of re-running Dijkstra from every terminal once per evaluation
+    // (see `improve_by_removal_reference` for the original form).
+    let mut terminals = current.clone();
+    terminals.push(inst.producer());
+    let solver = peercache_graph::steiner::SteinerSolver::new(net.graph(), &terminals, |u, v| {
+        inst.matrix().edge_cost(u, v)
+    })?;
+    let (costs, _, _) = inst.evaluate_set_with(net, &current, &solver)?;
+    let mut best_total = costs.total();
+    loop {
+        let mut best_removal: Option<(f64, usize)> = None;
+        for idx in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(idx);
+            let (costs, _, _) = inst.evaluate_set_with(net, &candidate, &solver)?;
+            let total = costs.total();
+            if total < best_total - 1e-9 && best_removal.is_none_or(|(bt, _)| total < bt) {
+                best_removal = Some((total, idx));
+            }
+        }
+        match best_removal {
+            Some((total, idx)) => {
+                current.remove(idx);
+                best_total = total;
+            }
+            None => return Ok(current),
+        }
+    }
+}
+
+/// The original improving-removal loop, which rebuilds every Steiner
+/// tree from scratch per evaluation. Kept verbatim as the oracle behind
+/// [`crate::approx::ApproxConfig::reference_mode`]; byte-identical to
+/// [`improve_by_removal`].
+///
+/// # Errors
+///
+/// Propagates evaluation failures (cannot occur on a connected
+/// [`Network`] with valid facilities).
+pub fn improve_by_removal_reference(
+    net: &Network,
+    inst: &ConflInstance,
+    facilities: &[NodeId],
+) -> Result<Vec<NodeId>, CoreError> {
+    let mut current: Vec<NodeId> = facilities.to_vec();
+    current.sort_unstable();
+    current.dedup();
+    if current.is_empty() {
+        return Ok(current);
+    }
     let (costs, _, _) = inst.evaluate_set(net, &current)?;
     let mut best_total = costs.total();
     loop {

@@ -1,0 +1,93 @@
+//! Property tests for the incremental contention recompute: after any
+//! sequence of caching operations (S(k) bumps), refreshing a carried
+//! [`ContentionMatrix`] with [`ContentionMatrix::update`] must be
+//! bitwise identical to computing a fresh matrix from the new state.
+
+use proptest::prelude::*;
+
+use peercache_core::costs::ContentionMatrix;
+use peercache_core::{ChunkId, Network};
+use peercache_graph::paths::{Parallelism, PathSelection};
+use peercache_graph::{builders, NodeId};
+
+fn connected_net() -> impl Strategy<Value = Network> {
+    (
+        6usize..32,
+        0u64..500,
+        prop_oneof![Just(0.08f64), Just(0.2), Just(0.45)],
+    )
+        .prop_map(|(n, seed, p)| {
+            use rand::SeedableRng;
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let g = builders::erdos_renyi_connected(n, p, &mut rng);
+            Network::new(g, NodeId::new(0), 8).unwrap()
+        })
+}
+
+fn assert_matrices_identical(a: &ContentionMatrix, b: &ContentionMatrix, n: usize) {
+    for u in (0..n).map(NodeId::new) {
+        for v in (0..n).map(NodeId::new) {
+            assert_eq!(
+                a.cost(u, v).to_bits(),
+                b.cost(u, v).to_bits(),
+                "cost({u},{v}): {} vs {}",
+                a.cost(u, v),
+                b.cost(u, v)
+            );
+            assert_eq!(a.hops(u, v), b.hops(u, v), "hops({u},{v})");
+            assert_eq!(a.path(u, v), b.path(u, v), "path({u},{v})");
+        }
+    }
+    for k in (0..n).map(NodeId::new) {
+        assert_eq!(a.node_term(k).to_bits(), b.node_term(k).to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn update_after_cache_ops_matches_fresh_compute(
+        net in connected_net(),
+        ops in prop::collection::vec(
+            prop::collection::vec((0usize..64, 0usize..16), 1..5),
+            1..4,
+        ),
+    ) {
+        let n = net.node_count();
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut incremental =
+                ContentionMatrix::compute_with(&net, selection, Parallelism::Sequential).unwrap();
+            let mut net = net.clone();
+            for batch in &ops {
+                // Apply a batch of cache commits, recording which nodes
+                // changed state (plus the producer, whose term follows
+                // the distinct-chunk population).
+                let mut dirty = vec![net.producer()];
+                for &(node, chunk) in batch {
+                    let node = NodeId::new(node % n);
+                    let chunk = ChunkId::new(chunk);
+                    if !net.is_cached(node, chunk) && net.cache(node, chunk).is_ok() {
+                        dirty.push(node);
+                    }
+                }
+                let redone = incremental
+                    .update(&net, &dirty, Parallelism::Sequential)
+                    .unwrap();
+                prop_assert!(redone <= n, "recomputed more sources than exist");
+                let fresh = ContentionMatrix::compute(&net, selection).unwrap();
+                assert_matrices_identical(&incremental, &fresh, n);
+            }
+        }
+    }
+
+    #[test]
+    fn update_with_no_changes_recomputes_nothing(net in connected_net()) {
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut m =
+                ContentionMatrix::compute_with(&net, selection, Parallelism::Sequential).unwrap();
+            let redone = m.update(&net, &[], Parallelism::Sequential).unwrap();
+            prop_assert_eq!(redone, 0, "a no-op change set must not invalidate any source");
+        }
+    }
+}

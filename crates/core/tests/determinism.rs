@@ -1,0 +1,125 @@
+//! Regression guard for the planning hot path: the optimized pipeline
+//! (parallel APSP, incremental contention recompute, event-driven dual
+//! ascent, shared Steiner solver) must produce **byte-identical** plans
+//! to the original unoptimized pipeline, which stays alive behind the
+//! test-only [`ApproxConfig::reference_mode`] flag.
+
+use peercache_core::approx::{ApproxConfig, ApproxPlanner};
+use peercache_core::planner::CachePlanner;
+use peercache_core::Network;
+use peercache_graph::paths::Parallelism;
+use peercache_graph::{builders, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded 200-node connected random topology — large enough that the
+/// incremental APSP, the jump logic and the thread fan-out all engage.
+fn random_200(seed: u64) -> Network {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = builders::erdos_renyi_connected(200, 0.025, &mut rng);
+    Network::new(g, NodeId::new(0), 4).unwrap()
+}
+
+fn assert_placements_identical(
+    a: &peercache_core::placement::Placement,
+    b: &peercache_core::placement::Placement,
+    label: &str,
+) {
+    assert_eq!(a.chunks().len(), b.chunks().len(), "{label}: chunk count");
+    for (x, y) in a.chunks().iter().zip(b.chunks()) {
+        let q = x.chunk;
+        assert_eq!(x.chunk, y.chunk, "{label}: chunk id");
+        assert_eq!(x.caches, y.caches, "{label}: caches of chunk {q}");
+        assert_eq!(
+            x.assignment, y.assignment,
+            "{label}: assignment of chunk {q}"
+        );
+        assert_eq!(x.tree_edges, y.tree_edges, "{label}: tree of chunk {q}");
+        for (name, xa, ya) in [
+            ("fairness", x.costs.fairness, y.costs.fairness),
+            ("access", x.costs.access, y.costs.access),
+            (
+                "dissemination",
+                x.costs.dissemination,
+                y.costs.dissemination,
+            ),
+            ("total", x.costs.total(), y.costs.total()),
+        ] {
+            assert_eq!(
+                xa.to_bits(),
+                ya.to_bits(),
+                "{label}: {name} cost of chunk {q}: {xa} vs {ya}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_pipeline_matches_reference_on_random_200() {
+    for seed in [3u64, 17] {
+        // Optimized path with an explicit thread fan-out, so the test
+        // exercises the parallel APSP even on a single-core runner.
+        let fast_cfg = ApproxConfig {
+            parallelism: Parallelism::Threads(4),
+            ..Default::default()
+        };
+        let reference_cfg = ApproxConfig {
+            reference_mode: true,
+            parallelism: Parallelism::Sequential,
+            ..Default::default()
+        };
+
+        let fast = {
+            let mut net = random_200(seed);
+            ApproxPlanner::new(fast_cfg).plan(&mut net, 3).unwrap()
+        };
+        let reference = {
+            let mut net = random_200(seed);
+            ApproxPlanner::new(reference_cfg).plan(&mut net, 3).unwrap()
+        };
+        assert_placements_identical(&fast, &reference, &format!("seed {seed}"));
+        assert!(
+            fast.chunks().iter().any(|c| !c.caches.is_empty()),
+            "seed {seed}: degenerate run — nothing was cached"
+        );
+    }
+}
+
+#[test]
+fn optimized_pipeline_matches_reference_on_grid() {
+    let grid = || Network::new(builders::grid(10, 10), NodeId::new(11), 4).unwrap();
+    let fast = {
+        let mut net = grid();
+        ApproxPlanner::default().plan(&mut net, 5).unwrap()
+    };
+    let reference = {
+        let mut net = grid();
+        let cfg = ApproxConfig {
+            reference_mode: true,
+            ..Default::default()
+        };
+        ApproxPlanner::new(cfg).plan(&mut net, 5).unwrap()
+    };
+    assert_placements_identical(&fast, &reference, "grid10");
+}
+
+#[test]
+fn final_network_state_matches_reference() {
+    // Placements being equal is necessary; the committed caching state
+    // (which feeds every later chunk) must agree too.
+    let mut fast_net = random_200(5);
+    let mut ref_net = random_200(5);
+    ApproxPlanner::default().plan(&mut fast_net, 3).unwrap();
+    let cfg = ApproxConfig {
+        reference_mode: true,
+        ..Default::default()
+    };
+    ApproxPlanner::new(cfg).plan(&mut ref_net, 3).unwrap();
+    for node in fast_net.graph().nodes() {
+        assert_eq!(
+            fast_net.used(node),
+            ref_net.used(node),
+            "storage used diverged at {node}"
+        );
+    }
+}

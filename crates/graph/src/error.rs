@@ -23,6 +23,12 @@ pub enum GraphError {
     Disconnected,
     /// A terminal set was empty where at least one terminal is required.
     NoTerminals,
+    /// A terminal was queried on a [`crate::steiner::SteinerSolver`]
+    /// that did not precompute it as a candidate.
+    UnknownTerminal {
+        /// The terminal missing from the solver's candidate set.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -40,6 +46,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::NoTerminals => write!(f, "terminal set is empty"),
+            GraphError::UnknownTerminal { node } => write!(
+                f,
+                "terminal {node} is not among the solver's precomputed candidates"
+            ),
         }
     }
 }

@@ -267,6 +267,71 @@ impl Graph {
     }
 }
 
+/// Flat compressed-sparse-row snapshot of a [`Graph`]'s adjacency.
+///
+/// The per-node `Vec<NodeId>` lists of [`Graph`] are pointer-chasing
+/// hostile in hot loops: every neighbor scan dereferences a separate
+/// heap allocation. `Csr` packs all neighbor lists into one contiguous
+/// `targets` array indexed by an `offsets` prefix-sum, which is what the
+/// all-pairs Dijkstra fan-out iterates. Neighbor order is preserved
+/// (ascending id), so algorithms behave identically on either
+/// representation.
+///
+/// A `Csr` is a snapshot: edges added to the `Graph` afterwards are not
+/// reflected.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, Csr, NodeId};
+///
+/// let g = builders::grid(3, 3);
+/// let csr = Csr::from_graph(&g);
+/// let via_graph: Vec<NodeId> = g.neighbors(NodeId::new(4)).collect();
+/// let via_csr: Vec<NodeId> = csr.neighbors(4).iter().map(|&v| NodeId::new(v as usize)).collect();
+/// assert_eq!(via_graph, via_csr);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` for node `u`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, ascending within each node.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the CSR snapshot of `g`'s adjacency.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            for v in &g.adjacency[u] {
+                targets.push(v.index() as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The neighbors of `u` as a raw index slice, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
+
 /// Iterator over the neighbors of a node, created by [`Graph::neighbors`].
 #[derive(Debug, Clone)]
 pub struct NeighborIter<'a> {

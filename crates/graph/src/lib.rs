@@ -50,4 +50,4 @@ pub mod paths;
 pub mod steiner;
 
 pub use error::GraphError;
-pub use graph::{EdgeIter, Graph, NeighborIter, NodeId};
+pub use graph::{Csr, EdgeIter, Graph, NeighborIter, NodeId};

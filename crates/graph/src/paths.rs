@@ -9,12 +9,17 @@
 //! * [`k_hop_neighborhood`] — the scope of the distributed algorithm's
 //!   local messages,
 //! * [`AllPairsPaths`] — all-pairs node-weighted shortest paths with path
-//!   reconstruction, under either hop-first or cost-first selection.
+//!   reconstruction, under either hop-first or cost-first selection,
+//!   computable sequentially or with a scoped-thread fan-out
+//!   ([`Parallelism`]) and incrementally updatable when node costs
+//!   change ([`AllPairsPaths::update`]).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::{Graph, GraphError, NodeId};
+use peercache_obs as obs;
+
+use crate::{Csr, Graph, GraphError, NodeId};
 
 /// How ties between candidate paths are resolved.
 ///
@@ -30,6 +35,37 @@ pub enum PathSelection {
     FewestHops,
     /// Prefer lower total node cost; break ties by fewer hops.
     MinCost,
+}
+
+/// How many OS threads a per-source shortest-path fan-out may use.
+///
+/// Every per-source Dijkstra is independent and deterministic, so the
+/// result is **byte-identical** for every variant — parallelism is purely
+/// a wall-clock knob and can be flipped freely without perturbing
+/// placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One thread per available core, capped at the number of sources.
+    #[default]
+    Auto,
+    /// Single-threaded; never spawns (the right choice for small
+    /// graphs, where spawn overhead dwarfs the work).
+    Sequential,
+    /// Exactly this many threads (clamped to at least 1 and at most the
+    /// number of sources).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves the thread count for `work` independent items.
+    pub fn threads(self, work: usize) -> usize {
+        let raw = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, usize::from),
+            Parallelism::Threads(t) => t.max(1),
+        };
+        raw.min(work).max(1)
+    }
 }
 
 /// Hop distances from `src` to every node (`None` when unreachable).
@@ -68,7 +104,10 @@ pub fn bfs_hops(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
 ///
 /// This is the reach of the distributed algorithm's local control
 /// messages (the paper limits CC/TIGHT/SPAN/FREEZE exchanges to a k-hop
-/// range, with k = 2 by default).
+/// range, with k = 2 by default). The BFS is depth-bounded: expansion
+/// stops at depth `k`, so the cost is proportional to the ball actually
+/// returned, not to the whole graph — the distributed engine calls this
+/// once per node per round.
 ///
 /// # Panics
 ///
@@ -85,11 +124,32 @@ pub fn bfs_hops(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
 /// assert_eq!(reach.len(), 8);
 /// ```
 pub fn k_hop_neighborhood(g: &Graph, src: NodeId, k: u32) -> Vec<NodeId> {
-    let hops = bfs_hops(g, src);
-    let mut out: Vec<NodeId> = g
-        .nodes()
-        .filter(|&v| v != src && hops[v.index()].is_some_and(|h| h <= k))
-        .collect();
+    let mut out: Vec<NodeId> = Vec::new();
+    if k == 0 {
+        assert!(
+            src.index() < g.node_count(),
+            "source {src} out of bounds for {} nodes",
+            g.node_count()
+        );
+        return out;
+    }
+    let mut seen = vec![false; g.node_count()];
+    seen[src.index()] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((src, 0u32));
+    while let Some((u, depth)) = queue.pop_front() {
+        if depth == k {
+            // Nodes at the boundary are in the ball but not expanded.
+            continue;
+        }
+        for v in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                out.push(v);
+                queue.push_back((v, depth + 1));
+            }
+        }
+    }
     out.sort_unstable();
     out
 }
@@ -104,21 +164,55 @@ pub fn k_hop_neighborhood(g: &Graph, src: NodeId, k: u32) -> Vec<NodeId> {
 ///
 /// Paths are deterministic: among equal candidates the lexicographically
 /// smallest parent is chosen.
+///
+/// Internally the structure stores, per pair, the **interior** cost —
+/// the path sum excluding both endpoints — and adds the endpoint terms
+/// at query time. Because all candidate paths between a fixed pair share
+/// their endpoints, routing depends only on interior costs; this split
+/// is what makes [`AllPairsPaths::update`] sound: an endpoint-only cost
+/// change never invalidates a stored row.
 #[derive(Debug, Clone)]
 pub struct AllPairsPaths {
     n: usize,
-    cost: Vec<f64>,
+    selection: PathSelection,
+    node_cost: Vec<f64>,
+    /// Per-pair interior path cost (`f64::INFINITY` when unreachable).
+    interior: Vec<f64>,
     hops: Vec<u32>,
     parent: Vec<Option<NodeId>>,
+    /// Per-source bitset of nodes appearing as an *interior* node on
+    /// some selected path (i.e. non-source parents in the SP tree);
+    /// `words_per_row` words per source.
+    interior_mask: Vec<u64>,
 }
 
 const UNREACHABLE_HOPS: u32 = u32::MAX;
 
+/// Per-source scratch buffers reused across Dijkstra runs.
+struct Scratch {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    settled: Vec<bool>,
+    queue: Vec<u32>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Scratch {
+            heap: BinaryHeap::new(),
+            settled: vec![false; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+}
+
 impl AllPairsPaths {
-    /// Computes all-pairs shortest paths under the node-cost metric.
+    /// Computes all-pairs shortest paths under the node-cost metric,
+    /// single-threaded.
     ///
     /// Runs one deterministic Dijkstra per source with the lexicographic
-    /// key implied by `selection`; `O(N (N + E) log N)` total.
+    /// key implied by `selection`; `O(N (N + E) log N)` total. Equivalent
+    /// to [`AllPairsPaths::compute_with`] under
+    /// [`Parallelism::Sequential`].
     ///
     /// # Errors
     ///
@@ -143,6 +237,27 @@ impl AllPairsPaths {
         node_cost: &[f64],
         selection: PathSelection,
     ) -> Result<Self, GraphError> {
+        AllPairsPaths::compute_with(g, node_cost, selection, Parallelism::Sequential)
+    }
+
+    /// Computes all-pairs shortest paths with a configurable per-source
+    /// fan-out over scoped threads.
+    ///
+    /// Sources are split into contiguous row blocks, one per thread;
+    /// every per-source Dijkstra is independent, so the result is
+    /// byte-identical to the sequential computation for any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if `node_cost` is shorter
+    /// than the node count.
+    pub fn compute_with(
+        g: &Graph,
+        node_cost: &[f64],
+        selection: PathSelection,
+        parallelism: Parallelism,
+    ) -> Result<Self, GraphError> {
         let n = g.node_count();
         if node_cost.len() < n {
             return Err(GraphError::NodeOutOfBounds {
@@ -150,71 +265,247 @@ impl AllPairsPaths {
                 node_count: n,
             });
         }
+        let words = words_per_row(n);
         let mut ap = AllPairsPaths {
             n,
-            cost: vec![f64::INFINITY; n * n],
+            selection,
+            node_cost: node_cost[..n].to_vec(),
+            interior: vec![f64::INFINITY; n * n],
             hops: vec![UNREACHABLE_HOPS; n * n],
             parent: vec![None; n * n],
+            interior_mask: vec![0u64; n * words],
         };
-        for src in 0..n {
-            ap.single_source(g, node_cost, NodeId::new(src), selection);
+        if n == 0 {
+            return Ok(ap);
+        }
+        let csr = Csr::from_graph(g);
+        let threads = parallelism.threads(n);
+        let mut span = obs::span!("apsp.compute", sources = n, threads = threads);
+        if threads <= 1 {
+            let mut scratch = Scratch::new(n);
+            for src in 0..n {
+                let (ic, hc, pc, mc) = ap.row_mut(src, words);
+                single_source(
+                    &csr,
+                    node_cost,
+                    src,
+                    selection,
+                    ic,
+                    hc,
+                    pc,
+                    mc,
+                    &mut scratch,
+                );
+            }
+        } else {
+            let rows_per = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                let chunks = ap
+                    .interior
+                    .chunks_mut(rows_per * n)
+                    .zip(ap.hops.chunks_mut(rows_per * n))
+                    .zip(ap.parent.chunks_mut(rows_per * n))
+                    .zip(ap.interior_mask.chunks_mut(rows_per * words));
+                for (block, (((ints, hops), parents), masks)) in chunks.enumerate() {
+                    let csr = &csr;
+                    s.spawn(move || {
+                        let n = csr.node_count();
+                        let mut scratch = Scratch::new(n);
+                        for (row, (((ic, hc), pc), mc)) in ints
+                            .chunks_mut(n)
+                            .zip(hops.chunks_mut(n))
+                            .zip(parents.chunks_mut(n))
+                            .zip(masks.chunks_mut(words))
+                            .enumerate()
+                        {
+                            let src = block * rows_per + row;
+                            single_source(
+                                csr,
+                                node_cost,
+                                src,
+                                selection,
+                                ic,
+                                hc,
+                                pc,
+                                mc,
+                                &mut scratch,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        if span.is_recording() {
+            span.add_field("recomputed_sources", obs::Value::from(n));
         }
         Ok(ap)
     }
 
-    fn single_source(
+    /// Incrementally refreshes the structure after the node costs
+    /// changed, recomputing only the sources whose selected paths route
+    /// *through* a changed node.
+    ///
+    /// The invalidation rule: a stored row stays valid when every
+    /// changed node appears on that source's selected paths only as an
+    /// **endpoint** — endpoint terms are added at query time, so the
+    /// stored interior costs, hop counts, and parents are untouched.
+    /// When a changed node is interior to some selected path, the row is
+    /// re-run from scratch. If any node cost *decreased*, previously
+    /// unattractive routes may win anywhere, so every row is recomputed
+    /// (the caching planners only ever raise `S(k)`, keeping the fast
+    /// path; the conservative fallback covers eviction workloads).
+    ///
+    /// `g` must be the same graph the structure was computed on.
+    ///
+    /// Returns the number of sources recomputed. The result is
+    /// byte-identical to a fresh [`AllPairsPaths::compute_with`] on the
+    /// new costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if `node_cost` is shorter
+    /// than the node count or `g` has a different node count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use peercache_graph::paths::{AllPairsPaths, Parallelism, PathSelection};
+    /// use peercache_graph::{builders, NodeId};
+    ///
+    /// let g = builders::path(4);
+    /// let mut costs = vec![1.0; 4];
+    /// let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops)?;
+    /// costs[3] = 5.0; // a leaf: never interior to any path
+    /// let redone = ap.update(&g, &costs, Parallelism::Sequential)?;
+    /// assert_eq!(redone, 0); // no row re-ran; queries still see the new cost
+    /// assert_eq!(ap.cost(NodeId::new(0), NodeId::new(3)), 8.0);
+    /// # Ok::<(), peercache_graph::GraphError>(())
+    /// ```
+    pub fn update(
         &mut self,
         g: &Graph,
         node_cost: &[f64],
-        src: NodeId,
-        selection: PathSelection,
-    ) {
-        let base = src.index() * self.n;
-        let cost = &mut self.cost[base..base + self.n];
-        let hops = &mut self.hops[base..base + self.n];
-        let parent = &mut self.parent[base..base + self.n];
-
-        // Internally the source's own cost is part of every non-trivial
-        // path; we seed with it and subtract nothing — only the diagonal
-        // is special-cased to zero at the end.
-        let mut heap: BinaryHeap<Reverse<(Key, usize)>> = BinaryHeap::new();
-        cost[src.index()] = node_cost[src.index()];
-        hops[src.index()] = 0;
-        heap.push(Reverse((
-            Key::new(selection, node_cost[src.index()], 0),
-            src.index(),
-        )));
-        let mut settled = vec![false; self.n];
-        while let Some(Reverse((key, u))) = heap.pop() {
-            if settled[u] {
-                continue;
-            }
-            // Stale entries carry a worse key than the settled value.
-            if key != Key::new(selection, cost[u], hops[u]) {
-                continue;
-            }
-            settled[u] = true;
-            for v in g.neighbors(NodeId::new(u)) {
-                let vi = v.index();
-                if settled[vi] {
-                    continue;
-                }
-                let cand_cost = cost[u] + node_cost[vi];
-                let cand_hops = hops[u] + 1;
-                let cand = Key::new(selection, cand_cost, cand_hops);
-                let cur = Key::new(selection, cost[vi], hops[vi]);
-                let better =
-                    cand < cur || (cand == cur && parent[vi].is_some_and(|p| NodeId::new(u) < p));
-                if better {
-                    cost[vi] = cand_cost;
-                    hops[vi] = cand_hops;
-                    parent[vi] = Some(NodeId::new(u));
-                    heap.push(Reverse((cand, vi)));
-                }
+        parallelism: Parallelism,
+    ) -> Result<usize, GraphError> {
+        let n = self.n;
+        if node_cost.len() < n || g.node_count() != n {
+            return Err(GraphError::NodeOutOfBounds {
+                node: NodeId::new(node_cost.len().min(g.node_count())),
+                node_count: n,
+            });
+        }
+        let words = words_per_row(n);
+        let mut dirty_words = vec![0u64; words];
+        let mut dirty = 0usize;
+        let mut decreased = false;
+        for k in 0..n {
+            if node_cost[k] != self.node_cost[k] {
+                dirty_words[k / 64] |= 1u64 << (k % 64);
+                dirty += 1;
+                decreased |= node_cost[k] < self.node_cost[k];
             }
         }
-        // Trivial path: no transmission, no cost.
-        cost[src.index()] = 0.0;
+        if dirty == 0 {
+            return Ok(0);
+        }
+        let rows: Vec<usize> = (0..n)
+            .filter(|&src| {
+                decreased
+                    || self.interior_mask[src * words..(src + 1) * words]
+                        .iter()
+                        .zip(&dirty_words)
+                        .any(|(m, d)| m & d != 0)
+            })
+            .collect();
+        self.node_cost.copy_from_slice(&node_cost[..n]);
+        let csr = Csr::from_graph(g);
+        let threads = parallelism.threads(rows.len());
+        let mut span = obs::span!(
+            "apsp.update",
+            sources = n,
+            dirty_nodes = dirty,
+            threads = threads,
+        );
+        let selection = self.selection;
+        if threads <= 1 {
+            let mut scratch = Scratch::new(n);
+            for &src in &rows {
+                let (ic, hc, pc, mc) = self.row_mut(src, words);
+                single_source(
+                    &csr,
+                    node_cost,
+                    src,
+                    selection,
+                    ic,
+                    hc,
+                    pc,
+                    mc,
+                    &mut scratch,
+                );
+            }
+        } else {
+            // Dirty rows are scattered, so threads produce owned row
+            // buffers that are scattered back on the main thread.
+            let per = rows.len().div_ceil(threads);
+            let results: Vec<(usize, RowBuf)> = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for chunk in rows.chunks(per) {
+                    let csr = &csr;
+                    handles.push(s.spawn(move || {
+                        let n = csr.node_count();
+                        let mut scratch = Scratch::new(n);
+                        let mut out = Vec::with_capacity(chunk.len());
+                        for &src in chunk {
+                            let mut buf = RowBuf::new(n, words);
+                            single_source(
+                                csr,
+                                node_cost,
+                                src,
+                                selection,
+                                &mut buf.interior,
+                                &mut buf.hops,
+                                &mut buf.parent,
+                                &mut buf.mask,
+                                &mut scratch,
+                            );
+                            out.push((src, buf));
+                        }
+                        out
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            for (src, buf) in results {
+                let (ic, hc, pc, mc) = self.row_mut(src, words);
+                ic.copy_from_slice(&buf.interior);
+                hc.copy_from_slice(&buf.hops);
+                pc.copy_from_slice(&buf.parent);
+                mc.copy_from_slice(&buf.mask);
+            }
+        }
+        if span.is_recording() {
+            span.add_field("recomputed_sources", obs::Value::from(rows.len()));
+        }
+        Ok(rows.len())
+    }
+
+    /// Disjoint mutable views of one source's row.
+    #[allow(clippy::type_complexity)]
+    fn row_mut(
+        &mut self,
+        src: usize,
+        words: usize,
+    ) -> (&mut [f64], &mut [u32], &mut [Option<NodeId>], &mut [u64]) {
+        let base = src * self.n;
+        (
+            &mut self.interior[base..base + self.n],
+            &mut self.hops[base..base + self.n],
+            &mut self.parent[base..base + self.n],
+            &mut self.interior_mask[src * words..(src + 1) * words],
+        )
     }
 
     /// Number of nodes the structure was computed for.
@@ -229,7 +520,14 @@ impl AllPairsPaths {
     ///
     /// Panics if `u` or `v` is out of bounds.
     pub fn cost(&self, u: NodeId, v: NodeId) -> f64 {
-        self.cost[u.index() * self.n + v.index()]
+        if u == v {
+            return 0.0;
+        }
+        let idx = u.index() * self.n + v.index();
+        if self.hops[idx] == UNREACHABLE_HOPS {
+            return f64::INFINITY;
+        }
+        self.interior[idx] + self.node_cost[u.index()] + self.node_cost[v.index()]
     }
 
     /// Hop length of the selected path (`None` when unreachable).
@@ -261,6 +559,159 @@ impl AllPairsPaths {
         }
         rev.reverse();
         Some(rev)
+    }
+}
+
+fn words_per_row(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+/// Owned buffers for one recomputed row (threaded update path).
+struct RowBuf {
+    interior: Vec<f64>,
+    hops: Vec<u32>,
+    parent: Vec<Option<NodeId>>,
+    mask: Vec<u64>,
+}
+
+impl RowBuf {
+    fn new(n: usize, words: usize) -> Self {
+        RowBuf {
+            interior: vec![f64::INFINITY; n],
+            hops: vec![UNREACHABLE_HOPS; n],
+            parent: vec![None; n],
+            mask: vec![0u64; words],
+        }
+    }
+}
+
+/// One deterministic Dijkstra over the interior-cost metric, writing
+/// into the caller's row slices.
+///
+/// The relaxation `interior(v) = interior(u) + node_cost[u]` (0 when `u`
+/// is the source) orders paths exactly as the full endpoint-inclusive
+/// cost does — every candidate between a fixed pair shares its
+/// endpoints — while keeping stored rows independent of endpoint terms.
+#[allow(clippy::too_many_arguments)]
+fn single_source(
+    csr: &Csr,
+    node_cost: &[f64],
+    src: usize,
+    selection: PathSelection,
+    interior: &mut [f64],
+    hops: &mut [u32],
+    parent: &mut [Option<NodeId>],
+    mask: &mut [u64],
+    scratch: &mut Scratch,
+) {
+    interior.fill(f64::INFINITY);
+    hops.fill(UNREACHABLE_HOPS);
+    parent.fill(None);
+    mask.fill(0);
+
+    interior[src] = 0.0;
+    hops[src] = 0;
+    match selection {
+        PathSelection::FewestHops => {
+            // Hop count is the primary key, so every hop-`h-1` node is
+            // final before any hop-`h` node is looked at — the heap
+            // degenerates into BFS layers. Run a plain BFS for the hop
+            // labels, then a layer-order DP picking each node's best
+            // predecessor: the lexicographic minimum over
+            // `(interior cost, parent id)`, exactly the value the
+            // generic Dijkstra's relaxation rule converges to.
+            let queue = &mut scratch.queue;
+            queue.clear();
+            queue.push(src as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &v in csr.neighbors(u) {
+                    let vi = v as usize;
+                    if hops[vi] == UNREACHABLE_HOPS {
+                        hops[vi] = hops[u] + 1;
+                        queue.push(v);
+                    }
+                }
+            }
+            // BFS order visits layers in order, so each node's
+            // predecessors (hop exactly one less) are already final.
+            let order: &[u32] = queue;
+            for &qv in order.iter().skip(1) {
+                let vi = qv as usize;
+                let hv = hops[vi];
+                let mut best = f64::INFINITY;
+                let mut best_parent: Option<NodeId> = None;
+                for &u in csr.neighbors(vi) {
+                    let ui = u as usize;
+                    if hops[ui] + 1 != hv {
+                        continue;
+                    }
+                    let step = if ui == src { 0.0 } else { node_cost[ui] };
+                    let cand = interior[ui] + step;
+                    let better = match best_parent {
+                        None => true,
+                        Some(p) => match cand.total_cmp(&best) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => NodeId::new(ui) < p,
+                            std::cmp::Ordering::Greater => false,
+                        },
+                    };
+                    if better {
+                        best = cand;
+                        best_parent = Some(NodeId::new(ui));
+                    }
+                }
+                interior[vi] = best;
+                parent[vi] = best_parent;
+            }
+        }
+        PathSelection::MinCost => {
+            scratch.heap.clear();
+            scratch.settled.fill(false);
+            let settled = &mut scratch.settled;
+            let heap = &mut scratch.heap;
+            heap.push(Reverse((Key::new(selection, 0.0, 0), src)));
+            while let Some(Reverse((key, u))) = heap.pop() {
+                if settled[u] {
+                    continue;
+                }
+                // Stale entries carry a worse key than the settled value.
+                if key != Key::new(selection, interior[u], hops[u]) {
+                    continue;
+                }
+                settled[u] = true;
+                // Leaving `u` makes it an interior node of every longer
+                // path.
+                let step = if u == src { 0.0 } else { node_cost[u] };
+                for &v in csr.neighbors(u) {
+                    let vi = v as usize;
+                    if settled[vi] {
+                        continue;
+                    }
+                    let cand_interior = interior[u] + step;
+                    let cand_hops = hops[u] + 1;
+                    let cand = Key::new(selection, cand_interior, cand_hops);
+                    let cur = Key::new(selection, interior[vi], hops[vi]);
+                    let better = cand < cur
+                        || (cand == cur && parent[vi].is_some_and(|p| NodeId::new(u) < p));
+                    if better {
+                        interior[vi] = cand_interior;
+                        hops[vi] = cand_hops;
+                        parent[vi] = Some(NodeId::new(u));
+                        heap.push(Reverse((cand, vi)));
+                    }
+                }
+            }
+        }
+    }
+    // The interior-node bitset: every non-source parent routes traffic
+    // through itself, so its term is baked into some stored row entry.
+    for &p in parent.iter().flatten() {
+        if p.index() != src {
+            mask[p.index() / 64] |= 1u64 << (p.index() % 64);
+        }
     }
 }
 
@@ -419,6 +870,32 @@ mod tests {
     }
 
     #[test]
+    fn k_hop_matches_bfs_filter_reference() {
+        // The depth-bounded BFS must agree with the naive
+        // full-BFS-then-filter definition on every (src, k).
+        let g = builders::grid(4, 5);
+        for src in g.nodes() {
+            let hops = bfs_hops(&g, src);
+            for k in 0..=6u32 {
+                let reference: Vec<NodeId> = g
+                    .nodes()
+                    .filter(|&v| v != src && hops[v.index()].is_some_and(|h| h <= k))
+                    .collect();
+                assert_eq!(k_hop_neighborhood(&g, src, k), reference, "src={src} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_hop_is_depth_bounded_on_disconnected_parts() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        assert_eq!(
+            k_hop_neighborhood(&g, NodeId::new(0), 3),
+            vec![NodeId::new(1)]
+        );
+    }
+
+    #[test]
     fn all_pairs_diagonal_is_zero() {
         let g = builders::grid(3, 3);
         let ap = AllPairsPaths::compute(&g, &unit_costs(&g), PathSelection::FewestHops).unwrap();
@@ -504,5 +981,101 @@ mod tests {
         let g = builders::grid(2, 2);
         let err = AllPairsPaths::compute(&g, &[1.0], PathSelection::FewestHops).unwrap_err();
         assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    fn assert_identical(a: &AllPairsPaths, b: &AllPairsPaths, g: &Graph) {
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(a.cost(u, v).to_bits(), b.cost(u, v).to_bits(), "{u}->{v}");
+                assert_eq!(a.hops(u, v), b.hops(u, v));
+                assert_eq!(a.path(u, v), b.path(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bytewise() {
+        let g = builders::grid(5, 5);
+        let costs: Vec<f64> = (0..25).map(|i| 1.0 + (i % 7) as f64).collect();
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let seq = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            for threads in [2usize, 3, 8, 64] {
+                let par = AllPairsPaths::compute_with(
+                    &g,
+                    &costs,
+                    selection,
+                    Parallelism::Threads(threads),
+                )
+                .unwrap();
+                assert_identical(&seq, &par, &g);
+            }
+        }
+    }
+
+    #[test]
+    fn update_matches_fresh_compute() {
+        let g = builders::grid(5, 5);
+        let mut costs: Vec<f64> = (0..25).map(|i| 1.0 + (i % 4) as f64).collect();
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut ap = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            // Raise a few node terms, as committing a chunk does.
+            for bump in [12usize, 3, 24] {
+                costs[bump] += 2.0;
+                let redone = ap.update(&g, &costs, Parallelism::Sequential).unwrap();
+                assert!(redone <= g.node_count());
+                let fresh = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+                assert_identical(&ap, &fresh, &g);
+            }
+            // A decrease falls back to the full recompute and stays correct.
+            costs[12] -= 3.0;
+            let redone = ap.update(&g, &costs, Parallelism::Sequential).unwrap();
+            assert_eq!(redone, g.node_count());
+            let fresh = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            assert_identical(&ap, &fresh, &g);
+            costs[12] += 1.0; // restore for the next selection
+        }
+    }
+
+    #[test]
+    fn update_with_unchanged_costs_is_a_noop() {
+        let g = builders::grid(3, 3);
+        let costs = unit_costs(&g);
+        let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        assert_eq!(ap.update(&g, &costs, Parallelism::Auto).unwrap(), 0);
+    }
+
+    #[test]
+    fn update_threaded_matches_sequential() {
+        let g = builders::grid(6, 6);
+        let mut costs: Vec<f64> = (0..36).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut seq = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let mut par = seq.clone();
+        costs[7] += 4.0;
+        costs[20] += 1.0;
+        let a = seq.update(&g, &costs, Parallelism::Sequential).unwrap();
+        let b = par.update(&g, &costs, Parallelism::Threads(4)).unwrap();
+        assert_eq!(a, b);
+        assert_identical(&seq, &par, &g);
+    }
+
+    #[test]
+    fn update_rejects_mismatched_graph() {
+        let g = builders::grid(3, 3);
+        let mut ap =
+            AllPairsPaths::compute(&g, &unit_costs(&g), PathSelection::FewestHops).unwrap();
+        let other = builders::grid(2, 2);
+        assert!(ap
+            .update(&other, &unit_costs(&g), Parallelism::Sequential)
+            .is_err());
+    }
+
+    #[test]
+    fn parallelism_thread_resolution() {
+        assert_eq!(Parallelism::Sequential.threads(100), 1);
+        assert_eq!(Parallelism::Threads(4).threads(100), 4);
+        assert_eq!(Parallelism::Threads(0).threads(100), 1);
+        assert_eq!(Parallelism::Threads(16).threads(3), 3);
+        assert!(Parallelism::Auto.threads(100) >= 1);
+        assert_eq!(Parallelism::Auto.threads(0), 1);
     }
 }

@@ -97,13 +97,137 @@ where
     if terms.len() == 1 {
         return Ok(SteinerTree::trivial(terms));
     }
+    let paths: Vec<(Vec<f64>, Vec<Option<NodeId>>)> = terms
+        .iter()
+        .map(|&t| dijkstra_edge_weighted(g, t, &weight))
+        .collect();
+    let views: Vec<&(Vec<f64>, Vec<Option<NodeId>>)> = paths.iter().collect();
+    tree_from_sssp(&weight, &terms, &views)
+}
 
+/// Reusable Steiner-tree solver over a fixed candidate-terminal set.
+///
+/// The metric-closure algorithm's only expensive ingredient is one
+/// shortest-path tree per terminal — and that tree depends solely on the
+/// graph and the edge weights, **not** on which other terminals are in
+/// play. The solver therefore runs the per-candidate Dijkstras once at
+/// construction and answers [`SteinerSolver::tree`] queries for any
+/// subset of the candidates with only the cheap closure-MST / expansion
+/// steps. A query returns bit-for-bit the same tree [`steiner_tree`]
+/// would (it runs the identical code on the identical shortest-path
+/// trees).
+///
+/// The planners leverage this in their removal-improvement phase, which
+/// evaluates `|F|` candidate facility sets against the same weights.
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{builders, steiner::{steiner_tree, SteinerSolver}, NodeId};
+///
+/// let g = builders::grid(3, 3);
+/// let cands = [NodeId::new(0), NodeId::new(2), NodeId::new(6), NodeId::new(8)];
+/// let solver = SteinerSolver::new(&g, &cands, |_, _| 1.0)?;
+/// let sub = [NodeId::new(0), NodeId::new(2), NodeId::new(6)];
+/// assert_eq!(solver.tree(&sub)?, steiner_tree(&g, &sub, |_, _| 1.0)?);
+/// # Ok::<(), peercache_graph::GraphError>(())
+/// ```
+pub struct SteinerSolver<W> {
+    weight: W,
+    /// Sorted, deduplicated candidate terminals.
+    candidates: Vec<NodeId>,
+    /// One `(cost, parent)` shortest-path tree per candidate.
+    sssp: Vec<(Vec<f64>, Vec<Option<NodeId>>)>,
+}
+
+impl<W> SteinerSolver<W>
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    /// Precomputes shortest-path trees for every candidate terminal.
+    ///
+    /// Duplicate candidates are allowed and ignored.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NoTerminals`] if `candidates` is empty.
+    /// * [`GraphError::NodeOutOfBounds`] for unknown candidates.
+    pub fn new(g: &Graph, candidates: &[NodeId], weight: W) -> Result<Self, GraphError> {
+        let uniq: BTreeSet<NodeId> = candidates.iter().copied().collect();
+        if uniq.is_empty() {
+            return Err(GraphError::NoTerminals);
+        }
+        for &t in &uniq {
+            if !g.contains_node(t) {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: t,
+                    node_count: g.node_count(),
+                });
+            }
+        }
+        let candidates: Vec<NodeId> = uniq.into_iter().collect();
+        let sssp = candidates
+            .iter()
+            .map(|&t| dijkstra_edge_weighted(g, t, &weight))
+            .collect();
+        Ok(SteinerSolver {
+            weight,
+            candidates,
+            sssp,
+        })
+    }
+
+    /// The sorted candidate set queries may draw terminals from.
+    pub fn candidates(&self) -> &[NodeId] {
+        &self.candidates
+    }
+
+    /// Computes the approximate Steiner tree over a subset of the
+    /// candidates, reusing the precomputed shortest-path trees.
+    ///
+    /// Duplicate terminals are allowed and ignored.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NoTerminals`] if `terminals` is empty.
+    /// * [`GraphError::UnknownTerminal`] if a terminal was not given to
+    ///   [`SteinerSolver::new`].
+    /// * [`GraphError::Disconnected`] if some terminal cannot reach
+    ///   another.
+    pub fn tree(&self, terminals: &[NodeId]) -> Result<SteinerTree, GraphError> {
+        let uniq: BTreeSet<NodeId> = terminals.iter().copied().collect();
+        if uniq.is_empty() {
+            return Err(GraphError::NoTerminals);
+        }
+        let terms: Vec<NodeId> = uniq.into_iter().collect();
+        let mut views = Vec::with_capacity(terms.len());
+        for &t in &terms {
+            let slot = self
+                .candidates
+                .binary_search(&t)
+                .map_err(|_| GraphError::UnknownTerminal { node: t })?;
+            views.push(&self.sssp[slot]);
+        }
+        if terms.len() == 1 {
+            return Ok(SteinerTree::trivial(terms));
+        }
+        tree_from_sssp(&self.weight, &terms, &views)
+    }
+}
+
+/// Steps 1–4 of Kou–Markowsky–Berman given the per-terminal
+/// shortest-path trees (`sssp[i]` rooted at `terms[i]`); `terms` must be
+/// sorted, deduplicated, and have at least two entries.
+fn tree_from_sssp<W>(
+    weight: &W,
+    terms: &[NodeId],
+    paths: &[&(Vec<f64>, Vec<Option<NodeId>>)],
+) -> Result<SteinerTree, GraphError>
+where
+    W: Fn(NodeId, NodeId) -> f64,
+{
     // Step 1: metric closure restricted to terminals.
     let mut closure_edges = Vec::new();
-    let mut paths: Vec<(Vec<f64>, Vec<Option<NodeId>>)> = Vec::with_capacity(terms.len());
-    for &t in &terms {
-        paths.push(dijkstra_edge_weighted(g, t, &weight));
-    }
     for a in 0..terms.len() {
         for b in (a + 1)..terms.len() {
             let d = paths[a].0[terms[b].index()];
@@ -333,5 +457,58 @@ mod tests {
         let g = builders::path(3);
         let r = steiner_tree(&g, &[NodeId::new(0), NodeId::new(9)], |_, _| 1.0);
         assert!(matches!(r, Err(GraphError::NodeOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn solver_matches_one_shot_on_every_subset() {
+        let g = builders::grid(4, 4);
+        let weight = |u: NodeId, v: NodeId| 1.0 + ((u.index() * 7 + v.index() * 3) % 5) as f64;
+        let cands = [
+            NodeId::new(0),
+            NodeId::new(5),
+            NodeId::new(10),
+            NodeId::new(15),
+        ];
+        let solver = SteinerSolver::new(&g, &cands, weight).unwrap();
+        assert_eq!(solver.candidates(), &cands);
+        // Every non-empty subset of the candidates must agree bitwise.
+        for mask in 1u32..16 {
+            let subset: Vec<NodeId> = cands
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &n)| n)
+                .collect();
+            let fresh = steiner_tree(&g, &subset, weight).unwrap();
+            let cached = solver.tree(&subset).unwrap();
+            assert_eq!(cached, fresh, "mask {mask:#b}");
+            assert_eq!(cached.cost.to_bits(), fresh.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn solver_rejects_unknown_terminals() {
+        let g = builders::grid(3, 3);
+        let solver = SteinerSolver::new(&g, &[NodeId::new(0), NodeId::new(8)], |_, _| 1.0).unwrap();
+        assert_eq!(
+            solver.tree(&[NodeId::new(0), NodeId::new(4)]),
+            Err(GraphError::UnknownTerminal {
+                node: NodeId::new(4)
+            })
+        );
+        assert_eq!(solver.tree(&[]), Err(GraphError::NoTerminals));
+    }
+
+    #[test]
+    fn solver_requires_candidates_in_bounds() {
+        let g = builders::path(3);
+        assert!(matches!(
+            SteinerSolver::new(&g, &[NodeId::new(9)], |_, _| 1.0),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert_eq!(
+            SteinerSolver::new(&g, &[], |_, _| 1.0).err(),
+            Some(GraphError::NoTerminals)
+        );
     }
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use peercache_graph::mst::{kruskal, prim, UnionFind};
 use peercache_graph::paths::{
-    bfs_hops, dijkstra_edge_weighted, k_hop_neighborhood, AllPairsPaths, PathSelection,
+    bfs_hops, dijkstra_edge_weighted, k_hop_neighborhood, AllPairsPaths, Parallelism, PathSelection,
 };
 use peercache_graph::{analysis, builders, components, steiner, Graph, NodeId};
 
@@ -174,6 +174,68 @@ proptest! {
                     sub.contains_edge(NodeId::new(u), NodeId::new(v)),
                     g.contains_edge(originals[u], originals[v])
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_apsp_is_bitwise_identical_to_sequential(
+        g in connected_graph(),
+        threads in 2usize..9,
+    ) {
+        let costs: Vec<f64> = g.nodes().map(|n| g.degree(n) as f64).collect();
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let seq =
+                AllPairsPaths::compute_with(&g, &costs, selection, Parallelism::Sequential)
+                    .unwrap();
+            let par =
+                AllPairsPaths::compute_with(&g, &costs, selection, Parallelism::Threads(threads))
+                    .unwrap();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    prop_assert_eq!(seq.cost(u, v).to_bits(), par.cost(u, v).to_bits());
+                    prop_assert_eq!(seq.hops(u, v), par.hops(u, v));
+                    prop_assert_eq!(seq.path(u, v), par.path(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_fresh_compute(
+        g in connected_graph(),
+        rounds in prop::collection::vec(
+            prop::collection::vec((0usize..64, 1u32..4), 1..5),
+            1..4,
+        ),
+    ) {
+        // Arbitrary sequences of positive S(k)-style bumps: after every
+        // batch, the incrementally-updated structure must be bitwise
+        // identical to a fresh computation on the new costs.
+        let n = g.node_count();
+        let base: Vec<f64> = g.nodes().map(|v| g.degree(v) as f64).collect();
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut incremental =
+                AllPairsPaths::compute_with(&g, &base, selection, Parallelism::Sequential)
+                    .unwrap();
+            let mut costs = base.clone();
+            for batch in &rounds {
+                for &(node, delta) in batch {
+                    costs[node % n] += f64::from(delta);
+                }
+                incremental.update(&g, &costs, Parallelism::Sequential).unwrap();
+                let fresh = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        prop_assert_eq!(
+                            incremental.cost(u, v).to_bits(),
+                            fresh.cost(u, v).to_bits(),
+                            "cost({u},{v}) diverged after update"
+                        );
+                        prop_assert_eq!(incremental.hops(u, v), fresh.hops(u, v));
+                        prop_assert_eq!(incremental.path(u, v), fresh.path(u, v));
+                    }
+                }
             }
         }
     }

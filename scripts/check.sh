@@ -22,4 +22,9 @@ if [[ $fast -eq 0 ]]; then
     run cargo build --workspace --release
 fi
 run cargo test --workspace -q
+if [[ $fast -eq 0 ]]; then
+    # Release-mode smoke run of the planning hot-path bench: quick
+    # variant, does not overwrite the committed BENCH_planning.json.
+    run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench planning_hot_path
+fi
 echo "==> all checks passed"
