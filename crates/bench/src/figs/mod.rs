@@ -3,6 +3,7 @@
 //! Every `run()` returns the [`crate::harness::Table`]s that regenerate
 //! the figure's series; the `repro` binary emits them.
 
+pub mod churn;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -15,9 +16,9 @@ pub mod fig9;
 
 use crate::harness::Table;
 
-/// Figure ids in paper order.
-pub const ALL: [&str; 9] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+/// Figure ids in paper order, plus the `churn` extension table.
+pub const ALL: [&str; 10] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "churn",
 ];
 
 /// Dispatches a figure by id.
@@ -36,6 +37,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "fig7" => fig7::run(),
         "fig8" => fig8::run(),
         "fig9" => fig9::run(),
+        "churn" => churn::run(),
         other => panic!("unknown figure id: {other}"),
     }
 }

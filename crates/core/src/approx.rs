@@ -1,7 +1,7 @@
 //! The paper's approximation algorithm (Algorithm 1).
 //!
 //! Per chunk, a **primal-dual dual ascent** in the style of the
-//! 6.55-approximation ConFL algorithm of Jung et al. [20] selects the
+//! 6.55-approximation ConFL algorithm of Jung et al. \[20\] selects the
 //! caching (ADMIN) set, and a Steiner tree connects it to the producer
 //! for dissemination. Chunks are processed iteratively; the storage
 //! consumed by earlier chunks raises both the Fairness Degree Cost and

@@ -2,9 +2,9 @@
 //!
 //! The evaluation compares against two wireless-caching schemes:
 //!
-//! * **Hopc** — Nuggehalli et al. [13]: cache-location selection driven
+//! * **Hopc** — Nuggehalli et al. \[13\]: cache-location selection driven
 //!   by *hop-count* access delay;
-//! * **Cont** — Sung et al. [4]: the same style of selection driven by a
+//! * **Cont** — Sung et al. \[4\]: the same style of selection driven by a
 //!   *contention* delay metric (degree-based path costs).
 //!
 //! Both select caching nodes from the **topology only** — no storage
@@ -35,9 +35,9 @@ use crate::{ChunkId, CoreError, Network};
 /// Which delay metric drives the baseline's greedy selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BaselineMetric {
-    /// Hop count (Nuggehalli et al. [13]).
+    /// Hop count (Nuggehalli et al. \[13\]).
     HopCount,
-    /// Static degree-based contention (Sung et al. [4]) — node term
+    /// Static degree-based contention (Sung et al. \[4\]) — node term
     /// `w_k` without the `(1 + S(k))` storage feedback.
     StaticContention,
 }

@@ -174,6 +174,45 @@ impl ContentionMatrix {
         Ok(recomputed)
     }
 
+    /// Refreshes the matrix in place after a **topology** change —
+    /// links or nodes added or removed — together with whatever node
+    /// terms moved with it (a departure drops the degree term of every
+    /// former neighbor, for instance).
+    ///
+    /// `removed_edges` / `added_edges` describe the net structural
+    /// difference since the snapshot; `net` must already be in its
+    /// post-churn state. Delegates to
+    /// [`AllPairsPaths::update_topology`], whose per-row invalidation
+    /// rules keep the recompute scoped to the sources the edit can
+    /// actually affect.
+    ///
+    /// Returns the number of shortest-path sources recomputed. The
+    /// result is byte-identical to a fresh
+    /// [`ContentionMatrix::compute`] on the new state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Graph`] if an edit mentions a node the
+    /// graph does not know.
+    pub fn update_topology(
+        &mut self,
+        net: &Network,
+        removed_edges: &[(NodeId, NodeId)],
+        added_edges: &[(NodeId, NodeId)],
+        parallelism: Parallelism,
+    ) -> Result<usize, CoreError> {
+        let terms = node_contention_terms(net);
+        let recomputed = self.paths.update_topology(
+            net.graph(),
+            &terms,
+            removed_edges,
+            added_edges,
+            parallelism,
+        )?;
+        self.terms = terms;
+        Ok(recomputed)
+    }
+
     /// The Path Contention Cost `c_ij` (0 on the diagonal).
     ///
     /// # Panics
@@ -315,6 +354,52 @@ mod tests {
             let fresh = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
             assert_matrices_identical(&m, &fresh, &net);
         }
+    }
+
+    #[test]
+    fn topology_update_after_departure_matches_fresh() {
+        let mut net = net();
+        net.cache(NodeId::new(1), ChunkId::new(0)).unwrap();
+        let mut m = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        let dep = net.deactivate_node(NodeId::new(8)).unwrap();
+        let removed: Vec<(NodeId, NodeId)> = dep
+            .former_neighbors
+            .iter()
+            .map(|&v| (NodeId::new(8), v))
+            .collect();
+        let redone = m
+            .update_topology(&net, &removed, &[], Parallelism::Sequential)
+            .unwrap();
+        assert!(redone <= net.node_count());
+        let fresh = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        assert_matrices_identical(&m, &fresh, &net);
+        assert!(m.cost(NodeId::new(0), NodeId::new(8)).is_infinite());
+        // The ghost node contributes nothing to contention.
+        assert_eq!(m.node_term(NodeId::new(8)), 0.0);
+    }
+
+    #[test]
+    fn topology_update_after_link_churn_matches_fresh() {
+        let mut net = net();
+        let mut m = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        net.remove_link(NodeId::new(4), NodeId::new(5)).unwrap();
+        m.update_topology(
+            &net,
+            &[(NodeId::new(4), NodeId::new(5))],
+            &[],
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        net.add_link(NodeId::new(0), NodeId::new(4)).unwrap();
+        m.update_topology(
+            &net,
+            &[],
+            &[(NodeId::new(0), NodeId::new(4))],
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        let fresh = ContentionMatrix::compute(&net, PathSelection::FewestHops).unwrap();
+        assert_matrices_identical(&m, &fresh, &net);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //! * the **evaluation metrics** — total/per-chunk contention cost,
 //!   p-percentile fairness and the Gini coefficient ([`metrics`]);
 //! * **workload generation** for the evaluation scenarios
-//!   ([`workload`]).
+//!   ([`workload`]);
+//! * the **churn-aware world layer** — a typed event stream over a
+//!   mutating topology with incremental placement repair ([`world`]).
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,8 @@ pub mod placement;
 pub mod planner;
 pub mod report;
 pub mod workload;
+pub mod world;
 
 pub use error::CoreError;
-pub use model::{ChunkId, Network};
+pub use model::{ChunkId, Departure, Network};
+pub use world::{CacheWorld, WorldEvent};

@@ -72,6 +72,21 @@ pub struct Network {
     /// Per-chunk interest sets; chunks without an entry are wanted by
     /// every client (the paper's default assumption).
     interest: BTreeMap<ChunkId, BTreeSet<NodeId>>,
+    /// Churn mask: departed peers stay in the graph as isolated ghost
+    /// nodes (so every id-indexed table stays aligned) but are inactive —
+    /// they are not clients, never facilities, and cache nothing.
+    active: Vec<bool>,
+}
+
+/// What a node departure left behind, returned by
+/// [`Network::deactivate_node`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Departure {
+    /// Chunks whose copy on the departed node was lost.
+    pub lost_chunks: Vec<ChunkId>,
+    /// The departed node's former neighbors, ascending; the removed
+    /// edges are `(node, neighbor)` for each entry.
+    pub former_neighbors: Vec<NodeId>,
 }
 
 impl Network {
@@ -127,6 +142,7 @@ impl Network {
             cached: vec![BTreeSet::new(); n],
             battery: vec![1.0; n],
             interest: BTreeMap::new(),
+            active: vec![true; n],
         })
     }
 
@@ -145,10 +161,31 @@ impl Network {
         self.graph.node_count()
     }
 
-    /// Iterates over the client nodes (everything but the producer).
+    /// Iterates over the client nodes: every *active* node except the
+    /// producer. Departed peers are not clients.
     pub fn clients(&self) -> impl Iterator<Item = NodeId> + '_ {
         let producer = self.producer;
-        self.graph.nodes().filter(move |&n| n != producer)
+        self.graph
+            .nodes()
+            .filter(move |&n| n != producer && self.active[n.index()])
+    }
+
+    /// Returns `true` if `node` is currently part of the network (has
+    /// not departed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active[node.index()]
+    }
+
+    /// The active nodes, producer included, ascending.
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.graph
+            .nodes()
+            .filter(|&n| self.active[n.index()])
+            .collect()
     }
 
     /// Total caching capacity of `node` in chunks (`S_tot(i)`).
@@ -224,11 +261,17 @@ impl Network {
     /// * [`CoreError::ProducerCannotCache`] for the producer.
     /// * [`CoreError::StorageFull`] when the node is at capacity.
     /// * [`CoreError::AlreadyCached`] for duplicate copies.
+    /// * [`CoreError::InvalidParameter`] for a departed node.
     pub fn cache(&mut self, node: NodeId, chunk: ChunkId) -> Result<(), CoreError> {
         if node == self.producer {
             return Err(CoreError::ProducerCannotCache {
                 producer: self.producer,
             });
+        }
+        if !self.active[node.index()] {
+            return Err(CoreError::InvalidParameter(format!(
+                "node {node} has departed and cannot cache"
+            )));
         }
         if self.used(node) >= self.capacity(node) {
             return Err(CoreError::StorageFull {
@@ -264,7 +307,7 @@ impl Network {
     ///
     /// Panics if `node` is out of bounds.
     pub fn fairness_cost(&self, node: NodeId) -> f64 {
-        if node == self.producer {
+        if node == self.producer || !self.active[node.index()] {
             return f64::INFINITY;
         }
         let used = self.used(node) as f64;
@@ -332,7 +375,7 @@ impl Network {
     ///
     /// Panics if `node` is out of bounds.
     pub fn battery_fairness_cost(&self, node: NodeId) -> f64 {
-        if node == self.producer {
+        if node == self.producer || !self.active[node.index()] {
             return f64::INFINITY;
         }
         let b = self.battery[node.index()];
@@ -389,10 +432,16 @@ impl Network {
     }
 
     /// The clients that want `chunk`, sorted — all clients unless a
-    /// restriction was set with [`Network::set_interest`].
+    /// restriction was set with [`Network::set_interest`]. Departed
+    /// nodes are never interested (their restriction entries are kept in
+    /// case they rejoin, but filtered here).
     pub fn interested_clients(&self, chunk: ChunkId) -> Vec<NodeId> {
         match self.interest.get(&chunk) {
-            Some(set) => set.iter().copied().collect(),
+            Some(set) => set
+                .iter()
+                .copied()
+                .filter(|&n| self.active[n.index()])
+                .collect(),
             None => self.clients().collect(),
         }
     }
@@ -403,7 +452,7 @@ impl Network {
     ///
     /// Panics if `node` is out of bounds.
     pub fn is_interested(&self, node: NodeId, chunk: ChunkId) -> bool {
-        if node == self.producer {
+        if node == self.producer || !self.active[node.index()] {
             return false;
         }
         match self.interest.get(&chunk) {
@@ -430,6 +479,141 @@ impl Network {
     /// Total free chunk slots across all non-producer nodes.
     pub fn total_free_slots(&self) -> usize {
         self.clients().map(|n| self.remaining(n)).sum()
+    }
+
+    /// Returns `true` if the *active* nodes are mutually connected.
+    ///
+    /// The constructor guarantees this at birth; every churn mutator
+    /// preserves it by rejecting edits that would partition the active
+    /// subgraph (a partitioned network cannot serve every client, which
+    /// the cost model has no answer for).
+    pub fn active_connected(&self) -> bool {
+        components::is_connected_subset(&self.graph, &self.active_nodes())
+    }
+
+    /// Removes `node` from the network: drops its incident links, clears
+    /// its cache, and marks it inactive. The node stays in the graph as
+    /// an isolated ghost so all id-indexed state keeps its alignment.
+    ///
+    /// Returns the lost chunk copies and former neighbors — exactly what
+    /// the repair layer needs to find orphaned placements and to feed
+    /// the incremental path update.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if `node` is the producer (the
+    ///   chunk origin cannot depart) or already departed.
+    /// * [`CoreError::DisconnectedNetwork`] if the departure would
+    ///   partition the remaining active nodes; the network is unchanged.
+    pub fn deactivate_node(&mut self, node: NodeId) -> Result<Departure, CoreError> {
+        if node == self.producer {
+            return Err(CoreError::InvalidParameter(format!(
+                "producer {node} cannot depart"
+            )));
+        }
+        if !self.graph.contains_node(node) || !self.active[node.index()] {
+            return Err(CoreError::InvalidParameter(format!(
+                "node {node} is not an active member of the network"
+            )));
+        }
+        let survivors: Vec<NodeId> = self
+            .active_nodes()
+            .into_iter()
+            .filter(|&n| n != node)
+            .collect();
+        if !components::is_connected_subset(&self.graph, &survivors) {
+            return Err(CoreError::DisconnectedNetwork);
+        }
+        let former_neighbors = self.graph.remove_node(node).map_err(CoreError::Graph)?;
+        let lost_chunks: Vec<ChunkId> = std::mem::take(&mut self.cached[node.index()])
+            .into_iter()
+            .collect();
+        self.active[node.index()] = false;
+        Ok(Departure {
+            lost_chunks,
+            former_neighbors,
+        })
+    }
+
+    /// Adds a brand-new node with the given links and capacity, and
+    /// returns its id.
+    ///
+    /// The node arrives with an empty cache and a full battery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `neighbors` is empty
+    /// (the newcomer would be unreachable) or lists an inactive or
+    /// unknown node; the network is unchanged on error.
+    pub fn join_node(
+        &mut self,
+        neighbors: &[NodeId],
+        capacity: usize,
+    ) -> Result<NodeId, CoreError> {
+        if neighbors.is_empty() {
+            return Err(CoreError::InvalidParameter(
+                "a joining node needs at least one link".into(),
+            ));
+        }
+        for &v in neighbors {
+            if !self.graph.contains_node(v) || !self.active[v.index()] {
+                return Err(CoreError::InvalidParameter(format!(
+                    "cannot link joining node to inactive or unknown node {v}"
+                )));
+            }
+        }
+        let node = self.graph.add_node();
+        for &v in neighbors {
+            self.graph.add_edge(node, v).map_err(CoreError::Graph)?;
+        }
+        self.capacity.push(capacity);
+        self.cached.push(BTreeSet::new());
+        self.battery.push(1.0);
+        self.active.push(true);
+        Ok(node)
+    }
+
+    /// Adds the link `(u, v)` between two active nodes; returns whether
+    /// the link is new.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if either endpoint is inactive.
+    /// * [`CoreError::Graph`] for unknown endpoints or a self-loop.
+    pub fn add_link(&mut self, u: NodeId, v: NodeId) -> Result<bool, CoreError> {
+        for e in [u, v] {
+            if self.graph.contains_node(e) && !self.active[e.index()] {
+                return Err(CoreError::InvalidParameter(format!(
+                    "cannot link departed node {e}"
+                )));
+            }
+        }
+        if self.graph.contains_edge(u, v) {
+            return Ok(false);
+        }
+        self.graph.add_edge(u, v).map_err(CoreError::Graph)?;
+        Ok(true)
+    }
+
+    /// Removes the link `(u, v)`; returns whether a link was removed.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Graph`] for unknown endpoints.
+    /// * [`CoreError::DisconnectedNetwork`] if the removal would
+    ///   partition the active nodes; the network is unchanged.
+    pub fn remove_link(&mut self, u: NodeId, v: NodeId) -> Result<bool, CoreError> {
+        if !self.graph.contains_edge(u, v) {
+            // Bounds-check through the graph for a consistent error.
+            self.graph.remove_edge(u, v).map_err(CoreError::Graph)?;
+            return Ok(false);
+        }
+        self.graph.remove_edge(u, v).map_err(CoreError::Graph)?;
+        if !self.active_connected() {
+            self.graph.add_edge(u, v).map_err(CoreError::Graph)?;
+            return Err(CoreError::DisconnectedNetwork);
+        }
+        Ok(true)
     }
 
     /// Clears all cached chunks, keeping topology and capacities.
@@ -624,6 +808,105 @@ mod tests {
         // Negative amounts are clamped: draining never charges.
         net.drain_battery(NodeId::new(2), -1.0);
         assert_eq!(net.battery(NodeId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn deactivate_node_clears_cache_and_links() {
+        let mut net = net3x3();
+        net.cache(NodeId::new(0), ChunkId::new(3)).unwrap();
+        let dep = net.deactivate_node(NodeId::new(0)).unwrap();
+        assert_eq!(dep.lost_chunks, vec![ChunkId::new(3)]);
+        assert_eq!(dep.former_neighbors, vec![NodeId::new(1), NodeId::new(3)]);
+        assert!(!net.is_active(NodeId::new(0)));
+        assert_eq!(net.graph().degree(NodeId::new(0)), 0);
+        assert_eq!(net.used(NodeId::new(0)), 0);
+        assert!(net.fairness_cost(NodeId::new(0)).is_infinite());
+        assert!(!net.is_interested(NodeId::new(0), ChunkId::new(3)));
+        assert_eq!(net.clients().count(), 7);
+        assert!(net.active_connected());
+        // A departed node can neither cache nor depart again.
+        assert!(net.cache(NodeId::new(0), ChunkId::new(3)).is_err());
+        assert!(net.deactivate_node(NodeId::new(0)).is_err());
+    }
+
+    #[test]
+    fn producer_cannot_depart() {
+        let mut net = net3x3();
+        assert!(matches!(
+            net.deactivate_node(net.producer()),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn departure_that_partitions_is_rejected() {
+        // Path 0-1-2: removing the middle node strands 0 from 2.
+        let mut net = Network::new(builders::path(3), NodeId::new(0), 1).unwrap();
+        let err = net.deactivate_node(NodeId::new(1)).unwrap_err();
+        assert_eq!(err, CoreError::DisconnectedNetwork);
+        assert!(net.is_active(NodeId::new(1)));
+        assert_eq!(net.graph().degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn join_node_extends_every_table() {
+        let mut net = net3x3();
+        let id = net.join_node(&[NodeId::new(8), NodeId::new(5)], 3).unwrap();
+        assert_eq!(id, NodeId::new(9));
+        assert_eq!(net.node_count(), 10);
+        assert_eq!(net.capacity(id), 3);
+        assert_eq!(net.battery(id), 1.0);
+        assert!(net.is_active(id));
+        assert!(net.graph().contains_edge(id, NodeId::new(8)));
+        net.cache(id, ChunkId::new(0)).unwrap();
+        assert_eq!(net.holders(ChunkId::new(0)), vec![id]);
+    }
+
+    #[test]
+    fn join_node_rejects_bad_links() {
+        let mut net = net3x3();
+        assert!(net.join_node(&[], 2).is_err());
+        net.deactivate_node(NodeId::new(0)).unwrap();
+        assert!(net.join_node(&[NodeId::new(0)], 2).is_err());
+        assert_eq!(net.node_count(), 9); // unchanged on error
+    }
+
+    #[test]
+    fn link_churn_preserves_connectivity() {
+        let mut net = net3x3();
+        // Redundant link: fine to drop.
+        assert!(net.remove_link(NodeId::new(0), NodeId::new(1)).unwrap());
+        // Node 0 now hangs off node 3 alone; cutting that would strand it.
+        let err = net.remove_link(NodeId::new(0), NodeId::new(3)).unwrap_err();
+        assert_eq!(err, CoreError::DisconnectedNetwork);
+        assert!(net.graph().contains_edge(NodeId::new(0), NodeId::new(3)));
+        // Re-adding the dropped link works; duplicates report false.
+        assert!(net.add_link(NodeId::new(0), NodeId::new(1)).unwrap());
+        assert!(!net.add_link(NodeId::new(0), NodeId::new(1)).unwrap());
+        // Removing an absent link reports false.
+        assert!(!net.remove_link(NodeId::new(0), NodeId::new(4)).unwrap());
+    }
+
+    #[test]
+    fn links_to_departed_nodes_are_rejected() {
+        let mut net = net3x3();
+        net.deactivate_node(NodeId::new(8)).unwrap();
+        assert!(matches!(
+            net.add_link(NodeId::new(7), NodeId::new(8)),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn interest_filters_departed_nodes() {
+        let mut net = net3x3();
+        net.set_interest(ChunkId::new(0), [NodeId::new(0), NodeId::new(8)])
+            .unwrap();
+        net.deactivate_node(NodeId::new(8)).unwrap();
+        assert_eq!(
+            net.interested_clients(ChunkId::new(0)),
+            vec![NodeId::new(0)]
+        );
     }
 
     #[test]

@@ -7,24 +7,26 @@
 //! the approximation algorithm against the *current* storage state, and
 //! a retention window retires the oldest live chunk when exceeded
 //! (freeing its copies network-wide).
+//!
+//! Since the dynamic-topology refactor this is a thin facade over
+//! [`CacheWorld`] restricted to the arrival/retire events — the churn
+//! events (departures, joins, link flaps) live on the world itself.
+//! There is deliberately no mutable network handle anymore: the old
+//! `network_mut` escape hatch let callers evict copies behind the
+//! live-chunk bookkeeping's back; every mutation now goes through a
+//! typed method that keeps the records consistent.
 
-use peercache_obs as obs;
-
-use crate::approx::{dual_ascent, ApproxConfig};
-use crate::instance::ConflInstance;
+use crate::approx::ApproxConfig;
 use crate::placement::ChunkPlacement;
-use crate::planner::{commit_chunk, prune_unused_facilities};
+use crate::world::CacheWorld;
 use crate::{ChunkId, CoreError, Network};
+
+use peercache_graph::NodeId;
 
 /// An evolving cache that places chunks as they arrive.
 #[derive(Debug, Clone)]
 pub struct OnlineCache {
-    net: Network,
-    config: ApproxConfig,
-    retention: Option<usize>,
-    live: Vec<ChunkId>,
-    history: Vec<ChunkPlacement>,
-    next_chunk: usize,
+    world: CacheWorld,
 }
 
 impl OnlineCache {
@@ -32,44 +34,75 @@ impl OnlineCache {
     /// algorithm with `config` for each arrival.
     pub fn new(net: Network, config: ApproxConfig) -> Self {
         OnlineCache {
-            net,
-            config,
-            retention: None,
-            live: Vec::new(),
-            history: Vec::new(),
-            next_chunk: 0,
+            world: CacheWorld::new(net, config),
         }
     }
 
     /// Keep at most `chunks` live chunks; older ones are retired before
     /// a new arrival is placed.
     pub fn with_retention(mut self, chunks: usize) -> Self {
-        self.retention = Some(chunks.max(1));
+        self.world = self.world.with_retention(chunks);
         self
     }
 
     /// The current network state.
     pub fn network(&self) -> &Network {
-        &self.net
+        self.world.network()
     }
 
-    /// Mutable access to the network, for environmental changes between
-    /// arrivals — draining batteries, adjusting capacities. Evicting
-    /// chunks through this handle instead of [`OnlineCache::retire_chunk`]
-    /// will desynchronize the live-chunk bookkeeping; prefer the typed
-    /// methods for cache state.
-    pub fn network_mut(&mut self) -> &mut Network {
-        &mut self.net
+    /// The underlying churn-aware world, for topology events beyond
+    /// plain arrivals and retirements.
+    pub fn world(&self) -> &CacheWorld {
+        &self.world
+    }
+
+    /// Consumes the facade, handing the world over for full churn
+    /// control.
+    pub fn into_world(self) -> CacheWorld {
+        self.world
+    }
+
+    /// Drains battery from a node between arrivals — environmental
+    /// change only; affects future facility costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn drain_battery(&mut self, node: NodeId, amount: f64) {
+        self.world.drain_battery(node, amount);
+    }
+
+    /// Sets a node's remaining battery fraction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Network::set_battery`].
+    pub fn set_battery(&mut self, node: NodeId, fraction: f64) -> Result<(), CoreError> {
+        self.world.set_battery(node, fraction)
+    }
+
+    /// Restricts a chunk's audience; a live chunk's assignment is
+    /// refreshed immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`CacheWorld::set_interest`].
+    pub fn set_interest(
+        &mut self,
+        chunk: ChunkId,
+        clients: impl IntoIterator<Item = NodeId>,
+    ) -> Result<(), CoreError> {
+        self.world.set_interest(chunk, clients)
     }
 
     /// Chunks currently live (not retired), oldest first.
     pub fn live_chunks(&self) -> &[ChunkId] {
-        &self.live
+        self.world.live_chunks()
     }
 
     /// Placement records of every arrival, in arrival order.
     pub fn history(&self) -> &[ChunkPlacement] {
-        &self.history
+        self.world.history()
     }
 
     /// Places the next arriving chunk and returns its placement.
@@ -78,50 +111,13 @@ impl OnlineCache {
     ///
     /// Propagates planning and storage errors.
     pub fn insert_chunk(&mut self) -> Result<&ChunkPlacement, CoreError> {
-        if let Some(window) = self.retention {
-            while self.live.len() >= window {
-                let oldest = self.live[0];
-                self.retire_chunk(oldest);
-            }
-        }
-        let chunk = ChunkId::new(self.next_chunk);
-        self.next_chunk += 1;
-        let mut span = obs::span!("online.insert", chunk = chunk.index());
-        let inst = ConflInstance::build_for_chunk(
-            &self.net,
-            chunk,
-            self.config.weights,
-            self.config.selection,
-        )?;
-        let (facilities, stats) = dual_ascent(&self.net, &inst, &self.config)?;
-        let facilities = prune_unused_facilities(&self.net, &inst, &facilities);
-        let placement = commit_chunk(&mut self.net, &inst, chunk, &facilities)?;
-        if span.is_recording() {
-            span.add_field("rounds", obs::Value::from(stats.rounds));
-            span.add_field("copies", obs::Value::from(placement.caches.len()));
-            span.add_field("live", obs::Value::from(self.live.len() + 1));
-            span.add_field("cost_total", obs::Value::from(placement.costs.total()));
-        }
-        self.live.push(chunk);
-        self.history.push(placement);
-        Ok(self.history.last().expect("just pushed"))
+        self.world.insert_chunk()
     }
 
     /// Retires a chunk, evicting every cached copy; returns the number
     /// of copies freed.
     pub fn retire_chunk(&mut self, chunk: ChunkId) -> usize {
-        self.live.retain(|&c| c != chunk);
-        let holders = self.net.holders(chunk);
-        for node in &holders {
-            self.net.uncache(*node, chunk);
-        }
-        obs::event!(
-            "online.retire",
-            chunk = chunk.index(),
-            copies_freed = holders.len(),
-            live = self.live.len(),
-        );
-        holders.len()
+        self.world.retire_chunk(chunk)
     }
 }
 
@@ -184,5 +180,22 @@ mod tests {
     fn retiring_unknown_chunk_is_a_noop() {
         let mut c = cache();
         assert_eq!(c.retire_chunk(ChunkId::new(99)), 0);
+    }
+
+    #[test]
+    fn typed_mutators_replace_the_raw_network_handle() {
+        let mut c = cache();
+        c.drain_battery(NodeId::new(0), 0.4);
+        assert!((c.network().battery(NodeId::new(0)) - 0.6).abs() < 1e-12);
+        c.set_battery(NodeId::new(1), 0.5).unwrap();
+        assert_eq!(c.network().battery(NodeId::new(1)), 0.5);
+        let chunk = c.insert_chunk().unwrap().chunk;
+        c.set_interest(chunk, [NodeId::new(0)]).unwrap();
+        assert_eq!(
+            c.world().placement(chunk).unwrap().assignment.len(),
+            1,
+            "interest refresh narrowed the assignment"
+        );
+        c.into_world().validate().unwrap();
     }
 }

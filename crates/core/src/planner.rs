@@ -244,14 +244,31 @@ mod tests {
 
     #[test]
     fn prune_removes_facilities_nobody_uses() {
-        let (net, inst) = setup();
-        // Node 1 is adjacent to almost everything useful; a far corner
-        // duplicate like 0 still serves itself, so use a set where one
-        // entry is strictly dominated: both 0 and 1 — 0 serves itself.
-        // Construct a dominated facility instead: 3 is adjacent to 0, 4, 6.
-        // With 0, 1, 3 open, every client picks its own or nearest.
-        let pruned = prune_unused_facilities(&net, &inst, &[NodeId::new(0), NodeId::new(0)]);
-        assert_eq!(pruned, vec![NodeId::new(0)]); // dedup at least
+        // With the full audience every facility serves itself for free
+        // and nothing can ever be pruned; a genuinely dominated
+        // facility needs a restricted audience. Chunk 0 interests only
+        // corner node 0: the adjacent facility 1 serves it strictly
+        // cheaper than either the producer (4) or the far corner 8, so
+        // 8 serves nobody and must be dropped.
+        let (mut net, _) = setup();
+        let chunk = crate::ChunkId::new(0);
+        net.set_interest(chunk, [NodeId::new(0)]).unwrap();
+        let inst = ConflInstance::build_for_chunk(
+            &net,
+            chunk,
+            CostWeights::default(),
+            PathSelection::FewestHops,
+        )
+        .unwrap();
+        assert!(
+            inst.connection_cost(NodeId::new(1), NodeId::new(0))
+                < inst
+                    .connection_cost(inst.producer(), NodeId::new(0))
+                    .min(inst.connection_cost(NodeId::new(8), NodeId::new(0))),
+            "test premise: facility 1 dominates 8 and the producer for client 0"
+        );
+        let pruned = prune_unused_facilities(&net, &inst, &[NodeId::new(1), NodeId::new(8)]);
+        assert_eq!(pruned, vec![NodeId::new(1)]);
     }
 
     #[test]

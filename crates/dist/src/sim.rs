@@ -44,6 +44,13 @@ pub struct SimConfig {
     pub loss: LossConfig,
     /// Random extra delivery delay.
     pub jitter: JitterConfig,
+    /// Mid-round churn: `(tick, node)` pairs at which a peer dies.
+    /// A dead node stops bidding and serving, messages addressed to it
+    /// vanish, and any client frozen on it as provider reverts to
+    /// bidding — re-electing an ADMIN or falling back to the producer.
+    /// Entries naming the producer are ignored (the producer is the
+    /// round's anchor and cannot die).
+    pub deaths: Vec<(Tick, NodeId)>,
 }
 
 impl Default for SimConfig {
@@ -57,6 +64,7 @@ impl Default for SimConfig {
             max_ticks: 100_000,
             loss: LossConfig::default(),
             jitter: JitterConfig::default(),
+            deaths: Vec::new(),
         }
     }
 }
@@ -73,6 +81,11 @@ pub struct RoundOutcome {
     pub ticks: Tick,
     /// Clients that gave up on peers and fell back to the producer.
     pub producer_fallbacks: usize,
+    /// Nodes that died mid-round (scheduled deaths actually applied).
+    pub deaths: usize,
+    /// Clients that resumed bidding because the provider they were
+    /// frozen on died — each is one ADMIN re-election attempt.
+    pub re_elections: usize,
 }
 
 /// How often (in ticks) the producer re-broadcasts NPI to nodes that
@@ -101,7 +114,13 @@ struct NodeState {
     beta: Vec<f64>,
     /// TIGHT/SPAN requesters and the tick their first request arrived.
     requesters: Vec<(NodeId, Tick)>,
-    span_count: usize,
+    /// Nodes whose SPAN escalation reached us (by identity, so a
+    /// supporter's death can strike it from the election tally).
+    span_from: Vec<NodeId>,
+    /// Who froze us — the admin or relay this node is served through.
+    /// `None` while unsettled, and for self-sufficient phases (ADMIN,
+    /// producer fallback). When the provider dies the node thaws.
+    provider: Option<NodeId>,
 }
 
 impl NodeState {
@@ -114,7 +133,8 @@ impl NodeState {
             gamma: vec![0.0; member_count],
             beta: vec![0.0; member_count],
             requesters: Vec::new(),
-            span_count: 0,
+            span_from: Vec::new(),
+            provider: None,
         }
     }
 
@@ -142,6 +162,9 @@ pub fn run_chunk_round(
         .collect();
     states[producer.index()].phase = Phase::Admin; // always serving
     let mut fallbacks = 0usize;
+    let mut dead = vec![false; views.len()];
+    let mut deaths_applied = 0usize;
+    let mut re_elections = 0usize;
 
     // NPI broadcast: one message per client, delivered at hop distance.
     for j in net.clients() {
@@ -153,26 +176,51 @@ pub fn run_chunk_round(
     while tick < cfg.max_ticks {
         tick += 1;
 
+        // Churn: apply every death scheduled at (or before) this tick.
+        // Scheduled in id order within a tick for determinism.
+        for &(t, node) in &cfg.deaths {
+            if t <= tick && node != producer && node.index() < dead.len() && !dead[node.index()] {
+                apply_death(net, &mut states, &mut dead, node, &mut re_elections);
+                deaths_applied += 1;
+            }
+        }
+
         // Lossy links can swallow the NPI broadcast; the producer
         // periodically re-announces so every node eventually joins.
         if tick.is_multiple_of(NPI_RETRANSMIT_INTERVAL) {
             for j in net.clients() {
-                if states[j.index()].phase == Phase::Idle {
+                if states[j.index()].phase == Phase::Idle && !dead[j.index()] {
                     let hops = producer_hops[j.index()].unwrap_or(1);
                     engine.send(j, hops, Message::Npi { chunk });
                 }
             }
         }
 
-        // Deliver everything due at this tick.
+        // Deliver everything due at this tick. Messages addressed to a
+        // dead node vanish into the void (in-flight messages *from* a
+        // node that has since died still arrive — radio waves do not
+        // recall themselves).
         while engine.next_time().is_some_and(|t| t <= tick) {
             let d = engine.next_delivery().expect("peeked delivery exists");
-            handle_message(net, views, cfg, &mut states, &mut engine, d.to, d.msg, tick);
+            if dead[d.to.index()] {
+                continue;
+            }
+            handle_message(
+                net,
+                views,
+                cfg,
+                &mut states,
+                &mut engine,
+                &dead,
+                d.to,
+                d.msg,
+                tick,
+            );
         }
 
         // Per-tick bidding for active clients, in id order.
         for j in net.clients() {
-            if states[j.index()].phase != Phase::Active {
+            if states[j.index()].phase != Phase::Active || dead[j.index()] {
                 continue;
             }
             let view = &views[j.index()];
@@ -207,6 +255,7 @@ pub fn run_chunk_round(
             // Fallback: no peer left worth waiting for.
             if st.alpha > cfg.give_up_factor * view.max_cost() + 1.0 {
                 st.phase = Phase::Frozen;
+                st.provider = None; // served by the producer directly
                 fallbacks += 1;
             }
         }
@@ -214,25 +263,31 @@ pub fn run_chunk_round(
         // Promotion checks (β accounting advances with time, not only
         // with message arrivals).
         for i in net.clients() {
-            try_promote(net, cfg, &mut states, &mut engine, i, tick);
+            if !dead[i.index()] {
+                try_promote(net, cfg, &mut states, &mut engine, i, tick);
+            }
         }
 
-        if net.clients().all(|j| states[j.index()].settled()) {
+        if net
+            .clients()
+            .all(|j| dead[j.index()] || states[j.index()].settled())
+        {
             break;
         }
     }
 
     // Anything still unsettled at the budget is served by the producer.
     for j in net.clients() {
-        if !states[j.index()].settled() {
+        if !dead[j.index()] && !states[j.index()].settled() {
             states[j.index()].phase = Phase::Frozen;
+            states[j.index()].provider = None;
             fallbacks += 1;
         }
     }
 
     let admins: Vec<NodeId> = net
         .clients()
-        .filter(|&i| states[i.index()].phase == Phase::Admin)
+        .filter(|&i| states[i.index()].phase == Phase::Admin && !dead[i.index()])
         .collect();
     let stats = *engine.stats();
     if obs::enabled() {
@@ -243,6 +298,8 @@ pub fn run_chunk_round(
             ("admins", obs::Value::from(admins.len())),
             ("producer_fallbacks", obs::Value::from(fallbacks)),
             ("dropped", obs::Value::from(stats.dropped)),
+            ("deaths", obs::Value::from(deaths_applied)),
+            ("re_elections", obs::Value::from(re_elections)),
         ];
         for (kind, n) in stats.per_kind() {
             fields.push((kind.label(), obs::Value::from(n)));
@@ -254,6 +311,35 @@ pub fn run_chunk_round(
         stats,
         ticks: tick,
         producer_fallbacks: fallbacks,
+        deaths: deaths_applied,
+        re_elections,
+    }
+}
+
+/// Kills `node`: strikes it from every election tally and thaws every
+/// client that was frozen on it as provider, sending them back to
+/// bidding (the distributed analog of the world layer's orphan repair —
+/// the thawed clients re-elect an ADMIN or fall back to the producer).
+fn apply_death(
+    net: &Network,
+    states: &mut [NodeState],
+    dead: &mut [bool],
+    node: NodeId,
+    re_elections: &mut usize,
+) {
+    dead[node.index()] = true;
+    for j in net.clients() {
+        if j == node || dead[j.index()] {
+            continue;
+        }
+        let st = &mut states[j.index()];
+        st.requesters.retain(|&(r, _)| r != node);
+        st.span_from.retain(|&r| r != node);
+        if st.phase == Phase::Frozen && st.provider == Some(node) {
+            st.phase = Phase::Active;
+            st.provider = None;
+            *re_elections += 1;
+        }
     }
 }
 
@@ -264,6 +350,7 @@ fn handle_message(
     cfg: &SimConfig,
     states: &mut [NodeState],
     engine: &mut Engine,
+    dead: &[bool],
     to: NodeId,
     msg: Message,
     now: Tick,
@@ -304,22 +391,35 @@ fn handle_message(
                 }
                 Phase::Active | Phase::Idle => {
                     if is_span {
-                        states[to.index()].span_count += 1;
+                        if !states[to.index()].span_from.contains(&from) {
+                            states[to.index()].span_from.push(from);
+                        }
                         try_promote(net, cfg, states, engine, to, now);
                     }
                 }
             }
         }
-        Message::Freeze { .. } => {
+        Message::Freeze { provider } => {
+            // A freeze naming an already-dead provider is stale news
+            // from before the death; accepting it would strand the
+            // client on a corpse.
+            if dead[provider.index()] {
+                return;
+            }
             if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
                 states[to.index()].phase = Phase::Frozen;
+                states[to.index()].provider = Some(provider);
             }
         }
         Message::NAdmin { admin } => {
+            if dead[admin.index()] {
+                return;
+            }
             if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
                 states[to.index()].phase = Phase::Frozen;
+                states[to.index()].provider = Some(admin);
                 // Our pending requesters can reach the chunk through us.
                 let requesters: Vec<NodeId> = states[to.index()]
                     .requesters
@@ -334,11 +434,15 @@ fn handle_message(
         Message::BAdmin { admin } => {
             // Freeze only when we actually contributed resources toward
             // this admin (the paper's β_j > Con_j guard).
+            if dead[admin.index()] {
+                return;
+            }
             let view = &views[to.index()];
             if states[to.index()].phase == Phase::Active {
                 if let Some(idx) = view.index_of(admin) {
                     if states[to.index()].beta[idx] > 0.0 {
                         states[to.index()].phase = Phase::Frozen;
+                        states[to.index()].provider = Some(admin);
                         let requesters: Vec<NodeId> = states[to.index()]
                             .requesters
                             .iter()
@@ -373,7 +477,7 @@ fn try_promote(
     if net.remaining(i) == 0 {
         return; // a full node never volunteers
     }
-    if states[i.index()].span_count < cfg.span_threshold {
+    if states[i.index()].span_from.len() < cfg.span_threshold {
         return;
     }
     // Collected β estimate: every requester bids U_β per tick since its
@@ -510,5 +614,148 @@ mod tests {
             "lossy round must still terminate"
         );
         assert!(out.stats.dropped > 0);
+    }
+
+    #[test]
+    fn loss_and_jitter_combined_still_converge_via_retransmission() {
+        // Both fault injectors at once: 25% drops plus up to 3 ticks of
+        // extra delay. NPI retransmission must still pull every client
+        // into the round and the round must settle.
+        let cfg = SimConfig {
+            loss: LossConfig {
+                drop_probability: 0.25,
+                seed: 7,
+            },
+            jitter: JitterConfig {
+                max_extra_ticks: 3,
+                seed: 11,
+            },
+            ..Default::default()
+        };
+        let out = round(6, 2, &cfg);
+        assert!(out.ticks < cfg.max_ticks);
+        assert!(out.stats.dropped > 0, "25% loss must drop something");
+        // Every client settled one way or the other.
+        let net = paper_grid(6).unwrap();
+        assert!(out.admins.len() + out.producer_fallbacks <= net.graph().node_count());
+        assert!(
+            !out.admins.is_empty() || out.producer_fallbacks > 0,
+            "clients must settle on an admin or the producer"
+        );
+    }
+
+    #[test]
+    fn message_counts_stay_bounded_under_retransmission() {
+        // TIGHT and SPAN are sent at most once per (client, candidate)
+        // pair regardless of loss, and NPI retransmission is bounded by
+        // one broadcast per client per retransmit interval.
+        let cfg = SimConfig {
+            loss: LossConfig {
+                drop_probability: 0.3,
+                seed: 5,
+            },
+            ..Default::default()
+        };
+        let net = paper_grid(5).unwrap();
+        let (views, _) = build_views(&net, 2);
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+        let pair_bound: u64 = views.iter().map(|v| v.members().len() as u64).sum();
+        assert!(out.stats[MessageKind::Tight] <= pair_bound);
+        assert!(out.stats[MessageKind::Span] <= pair_bound);
+        let clients = net.graph().node_count() as u64 - 1;
+        let npi_bound = clients * (2 + out.ticks / NPI_RETRANSMIT_INTERVAL);
+        assert!(
+            out.stats[MessageKind::Npi] <= npi_bound,
+            "NPI deliveries {} exceed retransmission bound {npi_bound}",
+            out.stats[MessageKind::Npi]
+        );
+    }
+
+    #[test]
+    fn death_of_elected_admin_triggers_reelection() {
+        // Run once undisturbed to learn who gets elected and when the
+        // round settles, then replay with each elected admin dying at
+        // each possible tick. Whatever the timing, the round must
+        // settle and the corpse must stay out of the admin set; for
+        // some (victim, tick) the admin's supporters are caught frozen
+        // on it and must thaw back to bidding.
+        let net = paper_grid(6).unwrap();
+        let (views, _) = build_views(&net, 2);
+        let baseline = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
+        assert!(!baseline.admins.is_empty(), "baseline elects admins");
+        let mut saw_reelection = false;
+        for &victim in &baseline.admins {
+            for t in 1..=baseline.ticks {
+                let cfg = SimConfig {
+                    deaths: vec![(t, victim)],
+                    ..Default::default()
+                };
+                let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+                assert_eq!(out.deaths, 1);
+                assert!(out.ticks < cfg.max_ticks, "churned round must settle");
+                assert!(!out.admins.contains(&victim), "dead admins cannot cache");
+                saw_reelection |= out.re_elections > 0;
+            }
+        }
+        assert!(
+            saw_reelection,
+            "some death tick must catch clients frozen on an admin"
+        );
+    }
+
+    #[test]
+    fn dead_nodes_never_join_the_admin_set() {
+        let net = paper_grid(5).unwrap();
+        let (views, _) = build_views(&net, 2);
+        let victims = [NodeId::new(0), NodeId::new(24)];
+        let cfg = SimConfig {
+            deaths: vec![(1, victims[0]), (2, victims[1])],
+            ..Default::default()
+        };
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+        assert_eq!(out.deaths, 2);
+        assert!(out.ticks < cfg.max_ticks);
+        for v in victims {
+            assert!(!out.admins.contains(&v));
+        }
+    }
+
+    #[test]
+    fn producer_death_is_ignored() {
+        let net = paper_grid(4).unwrap();
+        let (views, _) = build_views(&net, 2);
+        let cfg = SimConfig {
+            deaths: vec![(1, net.producer())],
+            ..Default::default()
+        };
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+        let undisturbed = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
+        assert_eq!(out.deaths, 0);
+        assert_eq!(out.admins, undisturbed.admins);
+        assert_eq!(out.ticks, undisturbed.ticks);
+    }
+
+    #[test]
+    fn churned_rounds_are_deterministic() {
+        // Loss, jitter, and deaths together must still replay exactly.
+        let cfg = SimConfig {
+            loss: LossConfig {
+                drop_probability: 0.2,
+                seed: 3,
+            },
+            jitter: JitterConfig {
+                max_extra_ticks: 2,
+                seed: 4,
+            },
+            deaths: vec![(5, NodeId::new(3)), (40, NodeId::new(12))],
+            ..Default::default()
+        };
+        let a = round(5, 2, &cfg);
+        let b = round(5, 2, &cfg);
+        assert_eq!(a.admins, b.admins);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.re_elections, b.re_elections);
+        assert_eq!(a.deaths, b.deaths);
     }
 }

@@ -57,6 +57,55 @@ pub fn is_connected(g: &Graph) -> bool {
     connected_components(g).len() <= 1
 }
 
+/// Returns `true` if the nodes in `keep` are mutually connected inside
+/// the subgraph induced by `keep`.
+///
+/// Used by the churn layer, where departed peers stay in the graph as
+/// isolated ghost nodes: connectivity then only matters over the *active*
+/// subset. Paths may not leave the subset. An empty or singleton subset
+/// is connected; out-of-bounds ids make the subset disconnected rather
+/// than panicking (callers validate separately).
+///
+/// # Example
+///
+/// ```
+/// use peercache_graph::{components, builders, NodeId};
+///
+/// let g = builders::path(4); // 0 - 1 - 2 - 3
+/// let active = [NodeId::new(0), NodeId::new(1), NodeId::new(3)];
+/// // 3 can only reach 0 and 1 through the excluded node 2.
+/// assert!(!components::is_connected_subset(&g, &active));
+/// assert!(components::is_connected_subset(&g, &active[..2]));
+/// ```
+pub fn is_connected_subset(g: &Graph, keep: &[NodeId]) -> bool {
+    if keep.len() <= 1 {
+        return keep.first().is_none_or(|n| n.index() < g.node_count());
+    }
+    if keep.iter().any(|n| n.index() >= g.node_count()) {
+        return false;
+    }
+    let mut in_set = vec![false; g.node_count()];
+    for &n in keep {
+        in_set[n.index()] = true;
+    }
+    let mut visited = vec![false; g.node_count()];
+    let mut stack = vec![keep[0]];
+    visited[keep[0].index()] = true;
+    let mut reached = 1usize;
+    while let Some(u) = stack.pop() {
+        for v in g.neighbors(u) {
+            if in_set[v.index()] && !visited[v.index()] {
+                visited[v.index()] = true;
+                reached += 1;
+                stack.push(v);
+            }
+        }
+    }
+    // `keep` may repeat ids; count distinct members instead.
+    let distinct = in_set.iter().filter(|&&b| b).count();
+    reached == distinct
+}
+
 /// Returns the nodes of the largest connected component (ties broken by
 /// smallest node id).
 ///
@@ -114,5 +163,30 @@ mod tests {
     #[test]
     fn largest_component_of_empty_graph_is_empty() {
         assert!(largest_component(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn connected_subset_ignores_excluded_cut_nodes() {
+        let g = builders::grid(3, 3);
+        // Exclude the center; the ring of outer nodes stays connected.
+        let ring: Vec<NodeId> = (0..9).filter(|&i| i != 4).map(NodeId::new).collect();
+        assert!(is_connected_subset(&g, &ring));
+        // Exclude the middle column; the two side columns separate.
+        let sides: Vec<NodeId> = [0, 3, 6, 2, 5, 8].iter().map(|&i| NodeId::new(i)).collect();
+        assert!(!is_connected_subset(&g, &sides));
+    }
+
+    #[test]
+    fn connected_subset_edge_cases() {
+        let g = builders::path(3);
+        assert!(is_connected_subset(&g, &[]));
+        assert!(is_connected_subset(&g, &[NodeId::new(2)]));
+        // Duplicates are tolerated.
+        assert!(is_connected_subset(
+            &g,
+            &[NodeId::new(0), NodeId::new(1), NodeId::new(0)]
+        ));
+        // Out-of-bounds ids report disconnected instead of panicking.
+        assert!(!is_connected_subset(&g, &[NodeId::new(0), NodeId::new(7)]));
     }
 }

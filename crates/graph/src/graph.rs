@@ -174,6 +174,69 @@ impl Graph {
         Ok(())
     }
 
+    /// Appends a new isolated node and returns its id.
+    ///
+    /// Existing node ids are unaffected, so snapshots keyed by id (CSR,
+    /// path tables) stay consistent with the nodes they already cover —
+    /// though any [`Csr`] or all-pairs table built before the call does
+    /// not know the new node and must be rebuilt to include it.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId::new(self.adjacency.len() - 1)
+    }
+
+    /// Removes the undirected edge `(u, v)` if present.
+    ///
+    /// Returns `true` if an edge was removed, `false` if it did not
+    /// exist. Any [`Csr`] snapshot taken before the call is stale
+    /// afterwards and must be rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if either endpoint is not
+    /// a node of this graph.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let Ok(pos_u) = self.adjacency[u.index()].binary_search(&v) else {
+            return Ok(false);
+        };
+        self.adjacency[u.index()].remove(pos_u);
+        let pos_v = self.adjacency[v.index()]
+            .binary_search(&u)
+            .expect("adjacency lists are symmetric");
+        self.adjacency[v.index()].remove(pos_v);
+        self.edge_count -= 1;
+        Ok(true)
+    }
+
+    /// Removes all edges incident to `node`, leaving it as an isolated
+    /// "ghost" node, and returns its former neighbors in ascending order.
+    ///
+    /// The node itself stays in the graph so every other node keeps its
+    /// dense id — downstream tables indexed by id (costs, path tables,
+    /// cache state) remain aligned. An isolated node is unreachable and
+    /// has degree 0, which is exactly how a departed peer should look to
+    /// the planners. Any [`Csr`] snapshot taken before the call is stale
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if `node` is not a node of
+    /// this graph.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        self.check_node(node)?;
+        let neighbors = std::mem::take(&mut self.adjacency[node.index()]);
+        for &v in &neighbors {
+            let pos = self.adjacency[v.index()]
+                .binary_search(&node)
+                .expect("adjacency lists are symmetric");
+            self.adjacency[v.index()].remove(pos);
+        }
+        self.edge_count -= neighbors.len();
+        Ok(neighbors)
+    }
+
     /// Returns `true` if the undirected edge `(u, v)` exists.
     ///
     /// Out-of-bounds endpoints simply yield `false`.
@@ -450,6 +513,63 @@ mod tests {
         assert!(sub.contains_edge(NodeId::new(0), NodeId::new(1)));
         assert!(sub.contains_edge(NodeId::new(1), NodeId::new(2)));
         assert_eq!(orig[0], NodeId::new(2));
+    }
+
+    #[test]
+    fn add_node_appends_isolated_node() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let id = g.add_node();
+        assert_eq!(id, NodeId::new(3));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(id), 0);
+        assert_eq!(g.edge_count(), 2);
+        g.add_edge(id, NodeId::new(0)).unwrap();
+        assert!(g.contains_edge(NodeId::new(0), id));
+    }
+
+    #[test]
+    fn remove_edge_is_symmetric() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(g.remove_edge(NodeId::new(1), NodeId::new(0)).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.contains_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.contains_edge(NodeId::new(1), NodeId::new(0)));
+        // Removing a missing edge reports false and changes nothing.
+        assert!(!g.remove_edge(NodeId::new(0), NodeId::new(1)).unwrap());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_out_of_bounds_rejected() {
+        let mut g = Graph::new(2);
+        let err = g.remove_edge(NodeId::new(0), NodeId::new(9)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn remove_node_leaves_isolated_ghost() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let former = g.remove_node(NodeId::new(1)).unwrap();
+        assert_eq!(former, vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
+        // Ids are stable: node 1 still exists, just isolated.
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.degree(NodeId::new(1)), 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.contains_edge(NodeId::new(2), NodeId::new(3)));
+        assert!(!g.contains_edge(NodeId::new(0), NodeId::new(1)));
+        // Removing an already-isolated node is a no-op.
+        assert_eq!(g.remove_node(NodeId::new(1)).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn mutations_match_rebuilt_graph() {
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        g.remove_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        g.remove_node(NodeId::new(0)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(4)).unwrap();
+        let rebuilt = Graph::from_edges(5, &[(1, 2), (3, 4), (2, 4)]).unwrap();
+        assert_eq!(g, rebuilt);
+        assert_eq!(Csr::from_graph(&g), Csr::from_graph(&rebuilt));
     }
 
     #[test]

@@ -426,22 +426,214 @@ impl AllPairsPaths {
             dirty_nodes = dirty,
             threads = threads,
         );
+        self.recompute_rows(&csr, node_cost, &rows, parallelism);
+        if span.is_recording() {
+            span.add_field("recomputed_sources", obs::Value::from(rows.len()));
+        }
+        Ok(rows.len())
+    }
+
+    /// Incrementally refreshes the structure after **structural** edits —
+    /// edges removed or added, possibly combined with node-cost changes —
+    /// recomputing only the rows the edit can actually affect.
+    ///
+    /// `g` must be the graph *after* the edit; `removed_edges` /
+    /// `added_edges` list the net difference from the graph the structure
+    /// was last computed on (an edge must not appear in both lists). The
+    /// per-row invalidation rules:
+    ///
+    /// * **Removed edge `(u, v)`** — removal only prunes candidate
+    ///   paths, so a row stays valid (and optimal) unless its stored
+    ///   shortest-path tree actually uses the edge (`parent[v] == u` or
+    ///   `parent[u] == v`).
+    /// * **Added edge `(u, v)`**, hop-first selection — a row is
+    ///   unaffected when both endpoints sit at *equal* hop depth from the
+    ///   source (including both unreachable): an intra-layer edge is
+    ///   never part of a hop-shortest path and is never considered by the
+    ///   layer DP. Cost-first selection falls back to "dirty when either
+    ///   endpoint is reachable". More than one added edge per call falls
+    ///   back to a full recompute (per-edge tests against stale hop
+    ///   labels are unsound when additions compound).
+    /// * **Node-cost changes** are folded in. Increases use the interior
+    ///   bitset exactly like [`AllPairsPaths::update`]. A *decrease* at a
+    ///   connected node `k` under hop-first selection dirties only the
+    ///   rows for which `k` lies on some hop-shortest path — `k`
+    ///   reachable with a neighbor one BFS layer further out — which
+    ///   keeps departures (where surviving neighbors' degree terms drop)
+    ///   incremental. A decrease at an *isolated* node is ignored: it
+    ///   cannot be, or become, interior to any path. Cost-first
+    ///   selection with any decrease falls back to recomputing every
+    ///   remaining row.
+    /// * A **node-count change** rebuilds the whole structure.
+    ///
+    /// Returns the number of rows recomputed; the result is
+    /// byte-identical to a fresh [`AllPairsPaths::compute_with`] on the
+    /// new graph and costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] if `node_cost` is shorter
+    /// than `g`'s node count or an edit mentions an unknown node.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use peercache_graph::paths::{AllPairsPaths, Parallelism, PathSelection};
+    /// use peercache_graph::{builders, NodeId};
+    ///
+    /// let mut g = builders::grid(3, 3);
+    /// let costs = vec![1.0; 9];
+    /// let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops)?;
+    /// let (u, v) = (NodeId::new(4), NodeId::new(5));
+    /// g.remove_edge(u, v)?;
+    /// let redone = ap.update_topology(&g, &costs, &[(u, v)], &[], Parallelism::Sequential)?;
+    /// assert!(redone < 9); // only rows whose tree used (4, 5)
+    /// assert_eq!(ap.hops(u, v), Some(3)); // rerouted around the gap
+    /// # Ok::<(), peercache_graph::GraphError>(())
+    /// ```
+    pub fn update_topology(
+        &mut self,
+        g: &Graph,
+        node_cost: &[f64],
+        removed_edges: &[(NodeId, NodeId)],
+        added_edges: &[(NodeId, NodeId)],
+        parallelism: Parallelism,
+    ) -> Result<usize, GraphError> {
+        if node_cost.len() < g.node_count() {
+            return Err(GraphError::NodeOutOfBounds {
+                node: NodeId::new(node_cost.len()),
+                node_count: g.node_count(),
+            });
+        }
+        for &(u, v) in removed_edges.iter().chain(added_edges) {
+            for e in [u, v] {
+                if e.index() >= g.node_count() {
+                    return Err(GraphError::NodeOutOfBounds {
+                        node: e,
+                        node_count: g.node_count(),
+                    });
+                }
+            }
+        }
+        if g.node_count() != self.n || added_edges.len() > 1 {
+            *self = AllPairsPaths::compute_with(g, node_cost, self.selection, parallelism)?;
+            return Ok(self.n);
+        }
+        let n = self.n;
+        if n == 0 {
+            return Ok(0);
+        }
+        debug_assert!(
+            removed_edges.iter().all(|&(u, v)| !g.contains_edge(u, v)),
+            "removed_edges must already be absent from the post-edit graph"
+        );
+        debug_assert!(
+            added_edges.iter().all(|&(u, v)| g.contains_edge(u, v)),
+            "added_edges must be present in the post-edit graph"
+        );
+        let words = words_per_row(n);
+
+        // Structurally dirty rows, judged against the stored (pre-edit)
+        // trees and hop labels.
+        let mut dirty = vec![false; n];
+        for (src, flag) in dirty.iter_mut().enumerate() {
+            let base = src * n;
+            let row_parent = &self.parent[base..base + n];
+            let row_hops = &self.hops[base..base + n];
+            *flag = removed_edges.iter().any(|&(u, v)| {
+                row_parent[v.index()] == Some(u) || row_parent[u.index()] == Some(v)
+            }) || added_edges.first().is_some_and(|&(u, v)| {
+                let (hu, hv) = (row_hops[u.index()], row_hops[v.index()]);
+                match self.selection {
+                    PathSelection::FewestHops => hu != hv,
+                    PathSelection::MinCost => hu != UNREACHABLE_HOPS || hv != UNREACHABLE_HOPS,
+                }
+            });
+        }
+        let structural: Vec<usize> = (0..n).filter(|&src| dirty[src]).collect();
+        let csr = Csr::from_graph(g);
+        let mut span = obs::span!(
+            "apsp.update_topology",
+            sources = n,
+            removed = removed_edges.len(),
+            added = added_edges.len(),
+        );
+        self.recompute_rows(&csr, node_cost, &structural, parallelism);
+
+        // Fold node-cost changes into the rows the edit left untouched
+        // (structurally dirty rows were recomputed with the new costs).
+        let mut dirty_words = vec![0u64; words];
+        let mut cost_changed = false;
+        let mut decreased: Vec<usize> = Vec::new();
+        for k in 0..n {
+            if node_cost[k] != self.node_cost[k] {
+                cost_changed = true;
+                dirty_words[k / 64] |= 1u64 << (k % 64);
+                if node_cost[k] < self.node_cost[k] && g.degree(NodeId::new(k)) > 0 {
+                    decreased.push(k);
+                }
+            }
+        }
+        self.node_cost[..n].copy_from_slice(&node_cost[..n]);
+        let mut cost_rows: Vec<usize> = Vec::new();
+        if cost_changed {
+            let mincost_fallback =
+                !decreased.is_empty() && self.selection == PathSelection::MinCost;
+            for (src, &row_dirty) in dirty.iter().enumerate() {
+                if row_dirty {
+                    continue;
+                }
+                let needs = mincost_fallback
+                    || self.interior_mask[src * words..(src + 1) * words]
+                        .iter()
+                        .zip(&dirty_words)
+                        .any(|(m, d)| m & d != 0)
+                    || decreased.iter().any(|&k| {
+                        // The source's own cost never enters its row
+                        // (it steps at cost 0), so skip k == src.
+                        let hk = self.hops[src * n + k];
+                        k != src
+                            && hk != UNREACHABLE_HOPS
+                            && csr
+                                .neighbors(k)
+                                .iter()
+                                .any(|&x| self.hops[src * n + x as usize] == hk + 1)
+                    });
+                if needs {
+                    cost_rows.push(src);
+                }
+            }
+            self.recompute_rows(&csr, node_cost, &cost_rows, parallelism);
+        }
+        let total = structural.len() + cost_rows.len();
+        if span.is_recording() {
+            span.add_field("recomputed_sources", obs::Value::from(total));
+        }
+        Ok(total)
+    }
+
+    /// Re-runs [`single_source`] for the given rows against `csr`,
+    /// sequentially or with a scoped-thread scatter, writing results in
+    /// place. Byte-identical for any thread count.
+    fn recompute_rows(
+        &mut self,
+        csr: &Csr,
+        node_cost: &[f64],
+        rows: &[usize],
+        parallelism: Parallelism,
+    ) {
+        if rows.is_empty() {
+            return;
+        }
+        let n = self.n;
+        let words = words_per_row(n);
         let selection = self.selection;
+        let threads = parallelism.threads(rows.len());
         if threads <= 1 {
             let mut scratch = Scratch::new(n);
-            for &src in &rows {
+            for &src in rows {
                 let (ic, hc, pc, mc) = self.row_mut(src, words);
-                single_source(
-                    &csr,
-                    node_cost,
-                    src,
-                    selection,
-                    ic,
-                    hc,
-                    pc,
-                    mc,
-                    &mut scratch,
-                );
+                single_source(csr, node_cost, src, selection, ic, hc, pc, mc, &mut scratch);
             }
         } else {
             // Dirty rows are scattered, so threads produce owned row
@@ -450,7 +642,6 @@ impl AllPairsPaths {
             let results: Vec<(usize, RowBuf)> = std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for chunk in rows.chunks(per) {
-                    let csr = &csr;
                     handles.push(s.spawn(move || {
                         let n = csr.node_count();
                         let mut scratch = Scratch::new(n);
@@ -486,10 +677,6 @@ impl AllPairsPaths {
                 mc.copy_from_slice(&buf.mask);
             }
         }
-        if span.is_recording() {
-            span.add_field("recomputed_sources", obs::Value::from(rows.len()));
-        }
-        Ok(rows.len())
     }
 
     /// Disjoint mutable views of one source's row.
@@ -1056,6 +1243,219 @@ mod tests {
         let b = par.update(&g, &costs, Parallelism::Threads(4)).unwrap();
         assert_eq!(a, b);
         assert_identical(&seq, &par, &g);
+    }
+
+    #[test]
+    fn topology_update_after_edge_removal_matches_fresh() {
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut g = builders::grid(5, 5);
+            let costs: Vec<f64> = (0..25).map(|i| 1.0 + (i % 4) as f64).collect();
+            let mut ap = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            let (u, v) = (NodeId::new(6), NodeId::new(7));
+            g.remove_edge(u, v).unwrap();
+            let redone = ap
+                .update_topology(&g, &costs, &[(u, v)], &[], Parallelism::Sequential)
+                .unwrap();
+            let fresh = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            assert_identical(&ap, &fresh, &g);
+            assert!(redone < 25, "removal must stay incremental, redid {redone}");
+        }
+    }
+
+    #[test]
+    fn topology_update_after_edge_addition_matches_fresh() {
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut g = builders::grid(2, 2); // square 0-1, 0-2, 1-3, 2-3
+            let costs = vec![1.0, 2.0, 3.0, 4.0];
+            let mut ap = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            let (u, v) = (NodeId::new(0), NodeId::new(3));
+            g.add_edge(u, v).unwrap();
+            let redone = ap
+                .update_topology(&g, &costs, &[], &[(u, v)], Parallelism::Sequential)
+                .unwrap();
+            let fresh = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+            assert_identical(&ap, &fresh, &g);
+            if selection == PathSelection::FewestHops {
+                // From sources 1 and 2 the new diagonal joins two nodes
+                // at equal depth, so only rows 0 and 3 re-ran.
+                assert_eq!(redone, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn topology_update_node_departure_with_cost_decreases() {
+        // A departure removes all incident edges AND lowers the degree
+        // terms of the surviving neighbors — the combination the world
+        // layer issues. The decrease must not force a full recompute
+        // under hop-first selection.
+        let mut g = builders::grid(5, 5);
+        let costs: Vec<f64> = (0..25)
+            .map(|k| 1.0 + (g.degree(NodeId::new(k))) as f64)
+            .collect();
+        let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let dead = NodeId::new(12); // center
+        let former = g.remove_node(dead).unwrap();
+        let removed: Vec<(NodeId, NodeId)> = former.iter().map(|&v| (dead, v)).collect();
+        let new_costs: Vec<f64> = (0..25)
+            .map(|k| 1.0 + (g.degree(NodeId::new(k))) as f64)
+            .collect();
+        let redone = ap
+            .update_topology(&g, &new_costs, &removed, &[], Parallelism::Sequential)
+            .unwrap();
+        let fresh = AllPairsPaths::compute(&g, &new_costs, PathSelection::FewestHops).unwrap();
+        assert_identical(&ap, &fresh, &g);
+        assert!(redone <= 25);
+        assert!(ap.cost(NodeId::new(0), dead).is_infinite());
+    }
+
+    #[test]
+    fn topology_update_pure_decrease_stays_incremental_hop_first() {
+        // Lowering the cost of a node that no hop-shortest path can use
+        // must not recompute anything (the old `update` would redo all
+        // rows on any decrease).
+        let g = builders::path(4);
+        let mut costs = vec![1.0, 1.0, 1.0, 5.0];
+        let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        costs[3] = 2.0; // a leaf: never interior
+        let redone = ap
+            .update_topology(&g, &costs, &[], &[], Parallelism::Sequential)
+            .unwrap();
+        assert_eq!(redone, 0);
+        let fresh = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        assert_identical(&ap, &fresh, &g);
+        // An interior decrease re-runs the rows that can route through it.
+        costs[1] = 0.5;
+        let redone = ap
+            .update_topology(&g, &costs, &[], &[], Parallelism::Sequential)
+            .unwrap();
+        assert!(redone > 0);
+        let fresh = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        assert_identical(&ap, &fresh, &g);
+    }
+
+    #[test]
+    fn topology_update_node_count_change_rebuilds() {
+        let mut g = builders::path(3);
+        let mut costs = vec![1.0; 3];
+        let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let new = g.add_node();
+        g.add_edge(new, NodeId::new(2)).unwrap();
+        costs.push(1.0);
+        let redone = ap
+            .update_topology(
+                &g,
+                &costs,
+                &[],
+                &[(new, NodeId::new(2))],
+                Parallelism::Sequential,
+            )
+            .unwrap();
+        assert_eq!(redone, 4);
+        assert_eq!(ap.node_count(), 4);
+        let fresh = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        assert_identical(&ap, &fresh, &g);
+    }
+
+    #[test]
+    fn topology_update_multi_addition_falls_back_to_full() {
+        let mut g = builders::path(4);
+        let costs = vec![1.0; 4];
+        let mut ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let added = [
+            (NodeId::new(0), NodeId::new(2)),
+            (NodeId::new(1), NodeId::new(3)),
+        ];
+        for &(u, v) in &added {
+            g.add_edge(u, v).unwrap();
+        }
+        let redone = ap
+            .update_topology(&g, &costs, &[], &added, Parallelism::Sequential)
+            .unwrap();
+        assert_eq!(redone, 4);
+        let fresh = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        assert_identical(&ap, &fresh, &g);
+    }
+
+    #[test]
+    fn topology_update_rejects_unknown_endpoints() {
+        let g = builders::path(3);
+        let mut ap =
+            AllPairsPaths::compute(&g, &unit_costs(&g), PathSelection::FewestHops).unwrap();
+        let err = ap
+            .update_topology(
+                &g,
+                &unit_costs(&g),
+                &[(NodeId::new(0), NodeId::new(9))],
+                &[],
+                Parallelism::Sequential,
+            )
+            .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfBounds { .. }));
+    }
+
+    /// Tiny deterministic xorshift so the randomized churn test needs no
+    /// external RNG crate.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, bound: usize) -> usize {
+            (self.next() % bound as u64) as usize
+        }
+    }
+
+    #[test]
+    fn topology_update_randomized_churn_matches_fresh() {
+        for selection in [PathSelection::FewestHops, PathSelection::MinCost] {
+            let mut g = builders::grid(4, 4);
+            let mut costs: Vec<f64> = (0..16).map(|i| 1.0 + (i % 5) as f64).collect();
+            let mut ap =
+                AllPairsPaths::compute_with(&g, &costs, selection, Parallelism::Threads(3))
+                    .unwrap();
+            let mut rng = XorShift(0x9e3779b97f4a7c15);
+            for step in 0..60 {
+                let (mut removed, mut added) = (Vec::new(), Vec::new());
+                match rng.below(3) {
+                    0 => {
+                        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+                        if !edges.is_empty() {
+                            let (u, v) = edges[rng.below(edges.len())];
+                            g.remove_edge(u, v).unwrap();
+                            removed.push((u, v));
+                        }
+                    }
+                    1 => {
+                        let (u, v) = (NodeId::new(rng.below(16)), NodeId::new(rng.below(16)));
+                        if u != v && !g.contains_edge(u, v) {
+                            g.add_edge(u, v).unwrap();
+                            added.push((u, v));
+                        }
+                    }
+                    _ => {
+                        let k = rng.below(16);
+                        costs[k] = 1.0 + rng.below(7) as f64;
+                    }
+                }
+                let par = if step % 2 == 0 {
+                    Parallelism::Sequential
+                } else {
+                    Parallelism::Threads(4)
+                };
+                ap.update_topology(&g, &costs, &removed, &added, par)
+                    .unwrap();
+                let fresh = AllPairsPaths::compute(&g, &costs, selection).unwrap();
+                assert_identical(&ap, &fresh, &g);
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Phase 2 of the paper's approximation algorithm connects the selected
 //! caching (ADMIN) nodes and the producer with a Steiner tree, along
 //! which the chunk is disseminated (the `z_en` variables of the ILP).
-//! The paper cites an LP-based 1.55-approximation [25]; as documented in
+//! The paper cites an LP-based 1.55-approximation \[25\]; as documented in
 //! DESIGN.md we substitute the classical metric-closure MST algorithm
 //! (Kou–Markowsky–Berman), a deterministic 2-approximation:
 //!

@@ -3,8 +3,8 @@
 //! Three pieces, all hand-rolled on `std` (the build environment has no
 //! crates-io access, and the hot paths must stay dependency-free):
 //!
-//! * **Tracing** — [`span`]/[`Span`] RAII timers on monotonic clocks and
-//!   fire-and-forget [`event`]s, both carrying typed key/value fields.
+//! * **Tracing** — [`span()`]/[`Span`] RAII timers on monotonic clocks and
+//!   fire-and-forget [`event()`]s, both carrying typed key/value fields.
 //!   The [`span!`] and [`event!`] macros are the ergonomic entry points.
 //! * **Metrics** — process-global [`Counter`]s, [`Gauge`]s and
 //!   [`Histogram`]s behind a name-interned registry ([`counter`],
@@ -77,7 +77,7 @@ macro_rules! span {
     }};
 }
 
-/// Emits an [`event`] with inline fields:
+/// Emits an [`event()`] with inline fields:
 /// `event!("name", key = value, ...)`.
 ///
 /// The field array is only built when tracing is enabled.

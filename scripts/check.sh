@@ -18,13 +18,15 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 if [[ $fast -eq 0 ]]; then
     run cargo build --workspace --release
 fi
 run cargo test --workspace -q
 if [[ $fast -eq 0 ]]; then
-    # Release-mode smoke run of the planning hot-path bench: quick
-    # variant, does not overwrite the committed BENCH_planning.json.
+    # Release-mode smoke runs of the hot-path benches: quick variants,
+    # do not overwrite the committed BENCH_*.json files.
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench planning_hot_path
+    run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench churn_trace
 fi
 echo "==> all checks passed"

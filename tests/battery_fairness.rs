@@ -115,7 +115,7 @@ fn draining_battery_over_time_rotates_load_online() {
     for _ in 0..10 {
         let caches = cache.insert_chunk().unwrap().caches.clone();
         for &n in &caches {
-            cache.network_mut().drain_battery(n, 0.2);
+            cache.drain_battery(n, 0.2);
         }
         hosts_over_time.push(caches);
     }
