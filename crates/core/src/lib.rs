@@ -61,6 +61,8 @@ pub mod online;
 pub mod placement;
 pub mod planner;
 pub mod report;
+#[cfg(feature = "strict-invariants")]
+pub mod strict;
 pub mod workload;
 pub mod world;
 

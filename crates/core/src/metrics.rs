@@ -50,7 +50,7 @@ pub fn gini(loads: &[usize]) -> f64 {
 pub fn nodes_to_cover(loads: &[usize], ratio: f64) -> usize {
     assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
     let total: usize = loads.iter().sum();
-    if total == 0 || ratio == 0.0 {
+    if total == 0 || crate::costs::approx_zero(ratio) {
         return 0;
     }
     let target = ratio * total as f64;

@@ -310,12 +310,12 @@ impl Network {
         if node == self.producer || !self.active[node.index()] {
             return f64::INFINITY;
         }
-        let used = self.used(node) as f64;
-        let remaining = self.remaining(node) as f64;
-        if remaining == 0.0 {
+        // Compare the integer count, not its f64 cast (lint rule N1).
+        let remaining = self.remaining(node);
+        if remaining == 0 {
             f64::INFINITY
         } else {
-            used / remaining
+            self.used(node) as f64 / remaining as f64
         }
     }
 

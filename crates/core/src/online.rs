@@ -110,7 +110,7 @@ impl OnlineCache {
     /// # Errors
     ///
     /// Propagates planning and storage errors.
-    pub fn insert_chunk(&mut self) -> Result<&ChunkPlacement, CoreError> {
+    pub fn insert_chunk(&mut self) -> Result<ChunkPlacement, CoreError> {
         self.world.insert_chunk()
     }
 

@@ -203,13 +203,18 @@ pub fn commit_chunk(
     for &i in &caches {
         net.cache(i, chunk)?;
     }
-    Ok(ChunkPlacement {
+    let placement = ChunkPlacement {
         chunk,
         caches,
         assignment,
         tree_edges,
         costs,
-    })
+    };
+    // Oracle: the dissemination tree must actually connect every cache to
+    // the producer at the moment it is committed.
+    #[cfg(feature = "strict-invariants")]
+    crate::strict::check_tree_connectivity(net, &placement);
+    Ok(placement)
 }
 
 /// Convenience: runs a planner on a fresh clone of `net` without

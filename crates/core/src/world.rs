@@ -28,10 +28,10 @@
 //! churn benchmarks and the determinism suite assert against.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use peercache_graph::{steiner, NodeId};
 use peercache_obs as obs;
+use peercache_obs::MonotonicClock;
 
 use crate::approx::{dual_ascent, ApproxConfig};
 use crate::costs::ContentionMatrix;
@@ -193,6 +193,9 @@ pub struct CacheWorld {
     matrix: Option<ContentionMatrix>,
     events_applied: usize,
     repair_wall_us: u64,
+    /// Wall-clock source for repair timing; injectable so the
+    /// deterministic layers never read ambient time (lint rule D2).
+    clock: MonotonicClock,
 }
 
 impl CacheWorld {
@@ -210,6 +213,7 @@ impl CacheWorld {
             matrix: None,
             events_applied: 0,
             repair_wall_us: 0,
+            clock: MonotonicClock::default(),
         }
     }
 
@@ -217,6 +221,14 @@ impl CacheWorld {
     /// a new arrival is placed.
     pub fn with_retention(mut self, chunks: usize) -> Self {
         self.retention = Some(chunks.max(1));
+        self
+    }
+
+    /// Replace the wall-clock source used for repair timing (a
+    /// [`MonotonicClock::Fixed`] clock makes timing output fully
+    /// deterministic).
+    pub fn with_clock(mut self, clock: MonotonicClock) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -333,7 +345,38 @@ impl CacheWorld {
             }
         };
         self.events_applied += 1;
+        #[cfg(feature = "strict-invariants")]
+        self.strict_check();
         Ok(outcome)
+    }
+
+    /// Runtime oracle run after every event under `strict-invariants`:
+    /// the carried contention snapshot must match a from-scratch
+    /// recompute bitwise, every live dissemination tree must connect its
+    /// caches to the producer, and the world's own consistency audit
+    /// must hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violated invariant (corrupted incremental state).
+    #[cfg(feature = "strict-invariants")]
+    fn strict_check(&self) {
+        if let Some(matrix) = &self.matrix {
+            crate::strict::check_matrix_consistency(
+                matrix,
+                &self.net,
+                self.config.selection,
+                self.config.parallelism,
+            );
+        }
+        for chunk in &self.live {
+            if let Some(p) = self.placements.get(chunk) {
+                crate::strict::check_tree_connectivity(&self.net, p);
+            }
+        }
+        if let Err(e) = self.validate() {
+            panic!("strict-invariants: world self-audit failed after event: {e}");
+        }
     }
 
     /// Places the next arriving chunk and returns its placement record
@@ -342,9 +385,8 @@ impl CacheWorld {
     /// # Errors
     ///
     /// Propagates planning and storage errors.
-    pub fn insert_chunk(&mut self) -> Result<&ChunkPlacement, CoreError> {
-        self.place_next_chunk()?;
-        Ok(self.history.last().expect("just pushed"))
+    pub fn insert_chunk(&mut self) -> Result<ChunkPlacement, CoreError> {
+        self.place_next_chunk()
     }
 
     /// Retires a chunk, evicting every cached copy; returns the number
@@ -444,7 +486,7 @@ impl CacheWorld {
         )?;
         let repair_contention = repaired.total_contention_cost();
 
-        let start = Instant::now();
+        let start = self.clock.now_us();
         let mut oracle = self.net.clone();
         oracle.reset();
         let mut matrix = ContentionMatrix::compute_with(
@@ -476,7 +518,7 @@ impl CacheWorld {
             self.config.selection,
         )?;
         let replan_contention = replanned.total_contention_cost();
-        let replan_wall_us = start.elapsed().as_micros() as u64;
+        let replan_wall_us = self.clock.elapsed_us(start);
         let cost_ratio = if replan_contention > 0.0 {
             repair_contention / replan_contention
         } else {
@@ -564,7 +606,7 @@ impl CacheWorld {
     }
 
     fn depart(&mut self, node: NodeId) -> Result<RepairReport, CoreError> {
-        let start = Instant::now();
+        let start = self.clock.now_us();
         let mut span = obs::span!("world.repair", node = node.index());
         let dep = self.net.deactivate_node(node)?;
         let removed: Vec<(NodeId, NodeId)> =
@@ -613,7 +655,7 @@ impl CacheWorld {
         for &chunk in &client_only {
             self.refresh_chunk_keeping_tree(chunk)?;
         }
-        let wall_us = start.elapsed().as_micros() as u64;
+        let wall_us = self.clock.elapsed_us(start);
         self.repair_wall_us += wall_us;
         if span.is_recording() {
             span.add_field("lost_chunks", obs::Value::from(dep.lost_chunks.len()));

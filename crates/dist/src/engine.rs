@@ -162,9 +162,11 @@ impl Engine {
     pub fn next_delivery(&mut self) -> Option<Delivery> {
         let Reverse((key, slot)) = self.queue.pop()?;
         self.now = key.at;
-        let delivery = self.payloads[slot.index()]
-            .take()
-            .expect("queued slots hold payloads");
+        // Every queue entry points at a filled payload slot by
+        // construction (`send` pushes both together); if the bookkeeping
+        // ever diverged, ending delivery beats panicking mid-protocol
+        // (lint rule P1).
+        let delivery = self.payloads.get_mut(slot.index())?.take()?;
         self.stats.record(delivery.msg.kind());
         if obs::enabled() {
             delivered_counter(delivery.msg.kind()).incr();

@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod protocol;
 pub mod runner;
 pub mod sim;
 pub mod view;
 
+pub use error::ProtocolError;
 pub use runner::{DistributedConfig, DistributedPlanner, RunReport};

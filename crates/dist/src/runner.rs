@@ -124,7 +124,7 @@ impl CachePlanner for DistributedPlanner {
             let planner_span = chunk_span("Dist", chunk);
             let round_span = obs::span!("dist.round", chunk = q);
             // CC exchange against the current caching state.
-            let (views, cc_stats) = build_views(net, self.config.k_hops);
+            let (views, cc_stats) = build_views(net, self.config.k_hops)?;
             let mut round_stats = cc_stats;
             let outcome = run_chunk_round(net, &views, chunk, &self.config.sim);
             round_stats.merge(&outcome.stats);

@@ -147,6 +147,10 @@ impl NodeState {
 ///
 /// `views` must have been built for the network's *current* caching
 /// state (see [`crate::view::build_views`]).
+// Dense per-node state arrays (`states`, `dead`, `producer_hops`) are all
+// sized to `views.len()` = node_count and indexed by NodeId/member indices
+// validated at view construction, so indexing cannot panic here.
+#[allow(clippy::indexing_slicing)]
 pub fn run_chunk_round(
     net: &Network,
     views: &[LocalView],
@@ -201,7 +205,11 @@ pub fn run_chunk_round(
         // node that has since died still arrive — radio waves do not
         // recall themselves).
         while engine.next_time().is_some_and(|t| t <= tick) {
-            let d = engine.next_delivery().expect("peeked delivery exists");
+            // `next_time` just peeked a queue entry, so a delivery exists;
+            // breaking on a phantom entry keeps the path panic-free (P1).
+            let Some(d) = engine.next_delivery() else {
+                break;
+            };
             if dead[d.to.index()] {
                 continue;
             }
@@ -320,6 +328,9 @@ pub fn run_chunk_round(
 /// client that was frozen on it as provider, sending them back to
 /// bidding (the distributed analog of the world layer's orphan repair —
 /// the thawed clients re-elect an ADMIN or fall back to the producer).
+// `states`/`dead` are node-count-sized; `node` is bounds-checked by the
+// caller before scheduling the death.
+#[allow(clippy::indexing_slicing)]
 fn apply_death(
     net: &Network,
     states: &mut [NodeState],
@@ -343,7 +354,9 @@ fn apply_death(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+// Per-node arrays are node-count-sized and member indices come from
+// `LocalView::index_of`, which only returns in-bounds positions.
+#[allow(clippy::too_many_arguments, clippy::indexing_slicing)]
 fn handle_message(
     net: &Network,
     views: &[LocalView],
@@ -463,6 +476,9 @@ fn handle_message(
 
 /// Declares `i` ADMIN when it has storage, enough SPAN supporters, and
 /// the observed resource contributions cover its fairness cost.
+// Same bound proof as `handle_message`: node-count-sized arrays,
+// view-validated member indices.
+#[allow(clippy::indexing_slicing)]
 fn try_promote(
     net: &Network,
     cfg: &SimConfig,
@@ -516,7 +532,7 @@ mod tests {
 
     fn round(side: usize, k: u32, cfg: &SimConfig) -> RoundOutcome {
         let net = paper_grid(side).unwrap();
-        let (views, _) = build_views(&net, k);
+        let (views, _) = build_views(&net, k).unwrap();
         run_chunk_round(&net, &views, ChunkId::new(0), cfg)
     }
 
@@ -532,7 +548,7 @@ mod tests {
     #[test]
     fn producer_never_becomes_admin() {
         let net = paper_grid(4).unwrap();
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         let out = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
         assert!(!out.admins.contains(&net.producer()));
     }
@@ -570,7 +586,7 @@ mod tests {
                 net.cache(j, ChunkId::new(100 + c)).unwrap();
             }
         }
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         let out = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
         assert!(out.admins.is_empty());
     }
@@ -657,7 +673,7 @@ mod tests {
             ..Default::default()
         };
         let net = paper_grid(5).unwrap();
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
         let pair_bound: u64 = views.iter().map(|v| v.members().len() as u64).sum();
         assert!(out.stats[MessageKind::Tight] <= pair_bound);
@@ -680,7 +696,7 @@ mod tests {
         // some (victim, tick) the admin's supporters are caught frozen
         // on it and must thaw back to bidding.
         let net = paper_grid(6).unwrap();
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         let baseline = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
         assert!(!baseline.admins.is_empty(), "baseline elects admins");
         let mut saw_reelection = false;
@@ -706,7 +722,7 @@ mod tests {
     #[test]
     fn dead_nodes_never_join_the_admin_set() {
         let net = paper_grid(5).unwrap();
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         let victims = [NodeId::new(0), NodeId::new(24)];
         let cfg = SimConfig {
             deaths: vec![(1, victims[0]), (2, victims[1])],
@@ -723,7 +739,7 @@ mod tests {
     #[test]
     fn producer_death_is_ignored() {
         let net = paper_grid(4).unwrap();
-        let (views, _) = build_views(&net, 2);
+        let (views, _) = build_views(&net, 2).unwrap();
         let cfg = SimConfig {
             deaths: vec![(1, net.producer())],
             ..Default::default()

@@ -12,6 +12,7 @@ use peercache_core::Network;
 use peercache_graph::paths::{k_hop_neighborhood, AllPairsPaths, PathSelection};
 use peercache_graph::NodeId;
 
+use crate::error::ProtocolError;
 use crate::protocol::{MessageKind, MessageStats};
 
 /// One node's view of its k-hop neighborhood.
@@ -39,6 +40,8 @@ impl LocalView {
     /// # Panics
     ///
     /// Panics if `idx` is out of bounds.
+    // Out-of-range `idx` panics by documented contract (`# Panics`).
+    #[allow(clippy::indexing_slicing)]
     pub fn cost(&self, idx: usize) -> f64 {
         self.cost[idx]
     }
@@ -48,6 +51,8 @@ impl LocalView {
     /// # Panics
     ///
     /// Panics if `idx` is out of bounds.
+    // Out-of-range `idx` panics by documented contract (`# Panics`).
+    #[allow(clippy::indexing_slicing)]
     pub fn hops(&self, idx: usize) -> u32 {
         self.hops[idx]
     }
@@ -65,7 +70,15 @@ impl LocalView {
 
 /// Builds every client's local view for the network's current state and
 /// accounts the CC message traffic (one request + one reply per member).
-pub fn build_views(net: &Network, k_hops: u32) -> (Vec<LocalView>, MessageStats) {
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if a k-hop member cannot be mapped into its
+/// induced subgraph — only possible if the graph mutates mid-build.
+pub fn build_views(
+    net: &Network,
+    k_hops: u32,
+) -> Result<(Vec<LocalView>, MessageStats), ProtocolError> {
     let graph = net.graph();
     let mut stats = MessageStats::default();
     let mut views = Vec::with_capacity(graph.node_count());
@@ -80,30 +93,27 @@ pub fn build_views(net: &Network, k_hops: u32) -> (Vec<LocalView>, MessageStats)
         keep.push(center);
         keep.extend_from_slice(&members);
         keep.sort_unstable();
-        let (sub, originals) = graph
-            .induced_subgraph(&keep)
-            .expect("k-hop members are valid nodes");
+        let (sub, originals) = graph.induced_subgraph(&keep)?;
         let terms: Vec<f64> = originals
             .iter()
             .map(|&o| graph.degree(o) as f64 * (1.0 + net.used(o) as f64))
             .collect();
-        let paths = AllPairsPaths::compute(&sub, &terms, PathSelection::FewestHops)
-            .expect("term vector covers the subgraph");
-        let center_local = NodeId::new(
+        let paths = AllPairsPaths::compute(&sub, &terms, PathSelection::FewestHops)?;
+        let local_index = |node: NodeId| -> Result<NodeId, ProtocolError> {
             originals
                 .iter()
-                .position(|&o| o == center)
-                .expect("center is kept"),
-        );
+                .position(|&o| o == node)
+                .map(NodeId::new)
+                .ok_or(ProtocolError::ViewMemberMissing {
+                    center,
+                    member: node,
+                })
+        };
+        let center_local = local_index(center)?;
         let mut cost = Vec::with_capacity(members.len());
         let mut hops = Vec::with_capacity(members.len());
         for &m in &members {
-            let m_local = NodeId::new(
-                originals
-                    .iter()
-                    .position(|&o| o == m)
-                    .expect("member is kept"),
-            );
+            let m_local = local_index(m)?;
             cost.push(paths.cost(center_local, m_local));
             hops.push(paths.hops(center_local, m_local).unwrap_or(u32::MAX));
         }
@@ -114,7 +124,7 @@ pub fn build_views(net: &Network, k_hops: u32) -> (Vec<LocalView>, MessageStats)
             hops,
         });
     }
-    (views, stats)
+    Ok((views, stats))
 }
 
 #[cfg(test)]
@@ -126,7 +136,7 @@ mod tests {
     #[test]
     fn two_hop_view_of_a_grid_center() {
         let net = paper_grid(5).unwrap();
-        let (views, stats) = build_views(&net, 2);
+        let (views, stats) = build_views(&net, 2).unwrap();
         let center = &views[12];
         assert_eq!(center.center(), NodeId::new(12));
         assert_eq!(center.members().len(), 12);
@@ -136,7 +146,7 @@ mod tests {
     #[test]
     fn view_costs_match_global_costs_when_paths_stay_local() {
         let net = paper_grid(4).unwrap();
-        let (views, _) = build_views(&net, 1);
+        let (views, _) = build_views(&net, 1).unwrap();
         // Adjacent pair: local estimate equals the exact two-term cost.
         let v = &views[0];
         let idx = v.index_of(NodeId::new(1)).unwrap();
@@ -148,9 +158,9 @@ mod tests {
     #[test]
     fn views_reflect_cached_load() {
         let mut net = paper_grid(4).unwrap();
-        let (before, _) = build_views(&net, 1);
+        let (before, _) = build_views(&net, 1).unwrap();
         net.cache(NodeId::new(1), ChunkId::new(0)).unwrap();
-        let (after, _) = build_views(&net, 1);
+        let (after, _) = build_views(&net, 1).unwrap();
         let idx = before[0].index_of(NodeId::new(1)).unwrap();
         assert!(after[0].cost(idx) > before[0].cost(idx));
     }
@@ -158,7 +168,7 @@ mod tests {
     #[test]
     fn producer_sends_no_cc_traffic() {
         let net = paper_grid(3).unwrap(); // producer clamped to node 8? no: min(9, 8) = 8
-        let (_, stats) = build_views(&net, 2);
+        let (_, stats) = build_views(&net, 2).unwrap();
         // Every client pays 2 messages per member; just sanity-check the
         // total is consistent with 8 clients.
         assert!(stats[MessageKind::Cc] >= 16);
@@ -167,8 +177,8 @@ mod tests {
     #[test]
     fn larger_k_sees_no_smaller_costs() {
         let net = paper_grid(5).unwrap();
-        let (k1, _) = build_views(&net, 1);
-        let (k2, _) = build_views(&net, 2);
+        let (k1, _) = build_views(&net, 1).unwrap();
+        let (k2, _) = build_views(&net, 2).unwrap();
         for (v1, v2) in k1.iter().zip(&k2) {
             for (i, &m) in v1.members().iter().enumerate() {
                 let j = v2.index_of(m).unwrap();

@@ -104,7 +104,7 @@ fn elected_admins_respect_remaining_capacity() {
 #[test]
 fn single_round_outcome_is_consistent_with_views() {
     let net = paper_grid(5).unwrap();
-    let (views, cc) = build_views(&net, 2);
+    let (views, cc) = build_views(&net, 2).unwrap();
     assert!(cc[MessageKind::Cc] > 0);
     let out = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
     // Admins are clients, unique, and within the node range.

@@ -1,0 +1,103 @@
+//! `peercache-lint`: zero-dependency domain-rule linter for the workspace.
+//!
+//! Enforces four invariants that the repo's headline guarantees (byte-identical
+//! replans, deterministic churn replays, panic-free distributed bidding) rest
+//! on:
+//!
+//! | Rule | Statement | Scope |
+//! |------|-----------|-------|
+//! | D1 | no `HashMap`/`HashSet` | `core`, `dist`, `graph`, `lp` |
+//! | D2 | no `Instant`/`SystemTime`/`thread_rng` | everywhere except `obs`, `bench` |
+//! | P1 | no `unwrap`/`expect`/`panic!`-family macros | `crates/dist/src/**`, `core::world` |
+//! | N1 | no direct `==`/`!=` on cost-valued f64 | `core`, `dist`, `graph` (helpers in `core::costs` exempt) |
+//!
+//! The pass is token-level (no `syn`, no network): comments, strings, and
+//! test-only regions never fire. Violations are suppressed only through the
+//! committed `lint-waivers.toml`, which requires a per-site justification;
+//! stale waivers fail the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod waivers;
+
+pub use rules::Violation;
+pub use waivers::{apply_waivers, parse_waivers, Waiver, WaiverReport};
+
+/// Lint a single source file given as a string.
+///
+/// `crate_name` is the workspace member (`core`, `dist`, ..., `peercache`
+/// for the root package); `rel_path` is the workspace-relative path with
+/// `/` separators.
+pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
+    let toks = lexer::tokenize(source);
+    let in_test = lexer::mark_test_regions(&toks);
+    let lines: Vec<&str> = source.lines().collect();
+    rules::check_tokens(crate_name, rel_path, &toks, &in_test, &lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lexer::{tokenize, TokKind};
+
+    #[test]
+    fn strings_and_comments_are_skipped() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in a block */
+            fn f() { let s = "HashMap"; let r = r#"SystemTime"#; }
+        "##;
+        let v = lint_source("core", "crates/core/src/x.rs", src);
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_lexing() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident("str".into())));
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        let toks = tokenize("let x = 1.5 + 2e-9 + 3 + 0xff + 1f64;");
+        let floats = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Float(_)))
+            .count();
+        let ints = toks.iter().filter(|t| t.kind == TokKind::Int).count();
+        assert_eq!(floats, 3, "{toks:?}");
+        assert_eq!(ints, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = r#"
+            pub fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { let _: Option<u8> = None; let _ = None::<u8>.unwrap(); }
+            }
+        "#;
+        let v = lint_source("dist", "crates/dist/src/engine.rs", src);
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire_p1() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).min(x.unwrap_or_default()) }";
+        let v = lint_source("dist", "crates/dist/src/engine.rs", src);
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn node_id_equality_does_not_fire_n1() {
+        let src = "pub fn f(i: usize, j: usize) -> bool { i == j }";
+        let v = lint_source("core", "crates/core/src/x.rs", src);
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+}

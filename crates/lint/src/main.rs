@@ -1,0 +1,159 @@
+//! Workspace driver for `peercache-lint`.
+//!
+//! Walks every workspace member's `src/` tree (plus the root package's
+//! `src/`), lints each `.rs` file, applies `lint-waivers.toml`, and exits
+//! nonzero on any unwaived violation or stale waiver.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use peercache_lint::{apply_waivers, lint_source, parse_waivers, Waiver};
+
+/// Hard budget from the acceptance criteria: the waiver file may never grow
+/// beyond this many entries.
+const MAX_WAIVERS: usize = 10;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("peercache-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let root = workspace_root()?;
+    let waivers = load_waivers(&root)?;
+
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in &members {
+        let name = member
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("non-utf8 crate dir under {}", crates_dir.display()))?
+            .to_string();
+        collect_rs(&member.join("src"), &name, &mut files)?;
+    }
+    // The root `peercache` package (library + repro binary).
+    collect_rs(&root.join("src"), "peercache", &mut files)?;
+
+    let mut violations = Vec::new();
+    for (crate_name, path) in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = rel_path(&root, path);
+        violations.extend(lint_source(crate_name, &rel, &source));
+    }
+    let scanned = files.len();
+
+    let report = apply_waivers(violations, &waivers);
+    for v in &report.unwaived {
+        eprintln!(
+            "peercache-lint: {}:{}: [{}] {}\n    {}",
+            v.file, v.line, v.rule, v.message, v.snippet
+        );
+    }
+    for &idx in &report.unused {
+        let w = &waivers[idx];
+        eprintln!(
+            "peercache-lint: stale waiver #{} ({} in {}, contains {:?}) matched nothing; \
+             remove it from lint-waivers.toml",
+            idx + 1,
+            w.rule,
+            w.file,
+            w.contains
+        );
+    }
+    let ok = report.unwaived.is_empty() && report.unused.is_empty();
+    println!(
+        "peercache-lint: {scanned} files scanned, {} violation(s), {} waived, {} stale waiver(s)",
+        report.unwaived.len(),
+        report.waived,
+        report.unused.len()
+    );
+    Ok(ok)
+}
+
+/// Locate the workspace root: walk up from the current directory until a
+/// `Cargo.toml` containing a `[workspace]` table is found.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory".into());
+        }
+    }
+}
+
+fn load_waivers(root: &Path) -> Result<Vec<Waiver>, String> {
+    let path = root.join("lint-waivers.toml");
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let waivers = parse_waivers(&text).map_err(|e| format!("lint-waivers.toml: {e}"))?;
+    if waivers.len() > MAX_WAIVERS {
+        return Err(format!(
+            "lint-waivers.toml has {} entries; the budget is {MAX_WAIVERS} — fix sites instead \
+             of waiving them",
+            waivers.len()
+        ));
+    }
+    Ok(waivers)
+}
+
+/// Recursively collect `.rs` files under `dir`, in sorted order for
+/// deterministic reporting. Missing directories are fine (crates without a
+/// `src/`, which cannot happen today, would simply contribute nothing).
+fn collect_rs(
+    dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<(String, PathBuf)>,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, crate_name, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((crate_name.to_string(), path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

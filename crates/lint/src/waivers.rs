@@ -1,0 +1,133 @@
+//! Parser and matcher for `lint-waivers.toml`.
+//!
+//! The waiver file is a hand-rolled subset of TOML: `[[waiver]]` array
+//! entries with exactly the string keys `rule`, `file`, `contains`, and
+//! `justification`. `contains` is matched against the trimmed source line of
+//! the violation, keyed by snippet rather than line number so waivers stay
+//! valid across unrelated edits.
+
+use crate::rules::Violation;
+
+/// One waived violation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule identifier the waiver applies to.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Substring that must appear on the violating source line.
+    pub contains: String,
+    /// Why this site is allowed to violate the rule.
+    pub justification: String,
+}
+
+/// Parse the waiver file contents. Returns an error message for any line the
+/// strict subset does not accept.
+pub fn parse_waivers(text: &str) -> Result<Vec<Waiver>, String> {
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut current: Option<[Option<String>; 4]> = None;
+
+    fn finish(entry: [Option<String>; 4], idx: usize) -> Result<Waiver, String> {
+        let [rule, file, contains, justification] = entry;
+        let missing = |k: &str| format!("waiver #{idx} is missing key `{k}`");
+        Ok(Waiver {
+            rule: rule.ok_or_else(|| missing("rule"))?,
+            file: file.ok_or_else(|| missing("file"))?,
+            contains: contains.ok_or_else(|| missing("contains"))?,
+            justification: justification.ok_or_else(|| missing("justification"))?,
+        })
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[waiver]]" {
+            if let Some(entry) = current.take() {
+                waivers.push(finish(entry, waivers.len() + 1)?);
+            }
+            current = Some([None, None, None, None]);
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `key = \"value\"`", lineno + 1));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!(
+                "line {}: value for `{key}` must be a double-quoted string",
+                lineno + 1
+            ));
+        };
+        let value = value.replace("\\\"", "\"").replace("\\\\", "\\");
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "line {}: `{key}` appears before any [[waiver]] header",
+                lineno + 1
+            ));
+        };
+        let slot = match key {
+            "rule" => 0,
+            "file" => 1,
+            "contains" => 2,
+            "justification" => 3,
+            other => {
+                return Err(format!("line {}: unknown key `{other}`", lineno + 1));
+            }
+        };
+        if entry[slot].is_some() {
+            return Err(format!("line {}: duplicate key `{key}`", lineno + 1));
+        }
+        if value.is_empty() {
+            return Err(format!("line {}: `{key}` must not be empty", lineno + 1));
+        }
+        entry[slot] = Some(value);
+    }
+    if let Some(entry) = current.take() {
+        waivers.push(finish(entry, waivers.len() + 1)?);
+    }
+    Ok(waivers)
+}
+
+/// Outcome of matching violations against waivers.
+#[derive(Debug)]
+pub struct WaiverReport {
+    /// Violations not covered by any waiver — these fail the build.
+    pub unwaived: Vec<Violation>,
+    /// Number of violations silenced by a waiver.
+    pub waived: usize,
+    /// Indices (into the waiver list) of waivers that matched nothing —
+    /// stale entries also fail the build to keep the budget honest.
+    pub unused: Vec<usize>,
+}
+
+/// Split `violations` into waived and unwaived, tracking stale waivers.
+pub fn apply_waivers(violations: Vec<Violation>, waivers: &[Waiver]) -> WaiverReport {
+    let mut used = vec![false; waivers.len()];
+    let mut unwaived = Vec::new();
+    let mut waived = 0usize;
+    for v in violations {
+        let hit = waivers
+            .iter()
+            .position(|w| w.rule == v.rule && w.file == v.file && v.snippet.contains(&w.contains));
+        match hit {
+            Some(idx) => {
+                used[idx] = true;
+                waived += 1;
+            }
+            None => unwaived.push(v),
+        }
+    }
+    let unused = used
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &u)| (!u).then_some(i))
+        .collect();
+    WaiverReport {
+        unwaived,
+        waived,
+        unused,
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: idiomatic code that must pass every rule.
+use std::collections::BTreeMap;
+
+pub fn plan_order(weights: &BTreeMap<usize, f64>, eps: f64) -> Result<Vec<usize>, String> {
+    // Epsilon comparison instead of `==`; integer ids compared exactly.
+    let picked: Vec<usize> = weights
+        .iter()
+        .filter(|&(&id, &w)| (w - 1.0).abs() <= eps && id != 0)
+        .map(|(&id, _)| id)
+        .collect();
+    picked
+        .first()
+        .copied()
+        .map(|_| picked.clone())
+        .ok_or_else(|| "empty plan".to_string())
+}
+
+pub fn fallible(queue: &mut Vec<Option<u32>>) -> Option<u32> {
+    // `unwrap_or`-style combinators are fine; only `.unwrap()` panics.
+    queue.pop().flatten().or(Some(0)).map(|p| p.saturating_add(1))
+}
+
+// Mentions in prose and strings must not fire: HashMap, Instant::now,
+// thread_rng, unwrap.
+pub const DOC: &str = "HashMap Instant SystemTime unwrap panic!";

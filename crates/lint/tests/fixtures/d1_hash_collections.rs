@@ -1,0 +1,16 @@
+// Fixture: D1 must flag hash-ordered collections in deterministic crates.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn plan_order(ids: &[usize]) -> Vec<usize> {
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut weights: HashMap<usize, f64> = HashMap::new();
+    for &id in ids {
+        if seen.insert(id) {
+            weights.insert(id, 1.0);
+        }
+    }
+    // Iteration order of a HashMap is nondeterministic: this is exactly
+    // the bug class D1 exists to stop.
+    weights.keys().copied().collect()
+}

@@ -1,0 +1,11 @@
+// Fixture: D2 must flag ambient time and randomness sources.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn timed_repair() -> u64 {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let _ = rng;
+    start.elapsed().as_micros() as u64
+}

@@ -1,0 +1,12 @@
+// Fixture: N1 must flag direct equality on cost-valued floats.
+pub fn pick(best_cost: f64, cand: f64, fairness: f64) -> bool {
+    // Literal operand: flagged regardless of identifier names.
+    if cand == 0.0 {
+        return true;
+    }
+    // Cost-vocabulary identifier operand.
+    if cand != best_cost {
+        return false;
+    }
+    fairness == best_cost
+}

@@ -1,0 +1,15 @@
+// Fixture: P1 must flag every panic vector in a protocol path.
+pub fn deliver(queue: &mut Vec<Option<u32>>) -> u32 {
+    let slot = queue.pop().unwrap();
+    let payload = slot.expect("queued slots hold payloads");
+    if payload == 0 {
+        panic!("zero payload");
+    }
+    if payload == 1 {
+        todo!("retransmission");
+    }
+    if payload == 2 {
+        unreachable!("filtered earlier");
+    }
+    payload
+}

@@ -47,11 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod metrics;
 mod sink;
 mod span;
 mod value;
 
+pub use clock::MonotonicClock;
 pub use metrics::{
     counter, gauge, histogram, reset_metrics, snapshot_metrics, Counter, Gauge, Histogram,
     MetricSnapshot,

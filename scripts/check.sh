@@ -17,12 +17,19 @@ run() {
 }
 
 run cargo fmt --all --check
+# Domain rules first (D1/D2/P1/N1, see DESIGN.md §11): fails on any
+# unwaived violation or stale entry in lint-waivers.toml.
+run cargo run -p peercache-lint --quiet
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 if [[ $fast -eq 0 ]]; then
     run cargo build --workspace --release
 fi
 run cargo test --workspace -q
+# Second pass with the runtime invariant oracles armed: reference
+# dual-ascent re-verification, bitwise contention-matrix checks, and
+# Steiner connectivity after every world event (crates/core/src/strict.rs).
+run cargo test --workspace --features strict-invariants -q
 if [[ $fast -eq 0 ]]; then
     # Release-mode smoke runs of the hot-path benches: quick variants,
     # do not overwrite the committed BENCH_*.json files.
