@@ -3,6 +3,7 @@
 //! Every `run()` returns the [`crate::harness::Table`]s that regenerate
 //! the figure's series; the `repro` binary emits them.
 
+pub mod chaos;
 pub mod churn;
 pub mod fig1;
 pub mod fig2;
@@ -16,9 +17,10 @@ pub mod fig9;
 
 use crate::harness::Table;
 
-/// Figure ids in paper order, plus the `churn` extension table.
-pub const ALL: [&str; 10] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "churn",
+/// Figure ids in paper order, plus the `churn` and `chaos` extension
+/// tables.
+pub const ALL: [&str; 11] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "churn", "chaos",
 ];
 
 /// Dispatches a figure by id.
@@ -38,6 +40,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "fig8" => fig8::run(),
         "fig9" => fig9::run(),
         "churn" => churn::run(),
+        "chaos" => chaos::run(),
         other => panic!("unknown figure id: {other}"),
     }
 }

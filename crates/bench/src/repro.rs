@@ -38,7 +38,7 @@ fn summary() -> ExitCode {
 /// `repro fig1 ... fig9`. Returns the process exit code.
 pub fn main_with_args(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: repro [all | fig1 .. fig9 | churn]...");
+        eprintln!("usage: repro [all | fig1 .. fig9 | churn | chaos]...");
         eprintln!("       repro            (no args: run summary over every planner)");
         eprintln!("figures: {}", figs::ALL.join(" "));
         return ExitCode::from(2);

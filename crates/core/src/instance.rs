@@ -110,6 +110,20 @@ impl ConflInstance {
         self.matrix
     }
 
+    /// Restricts the instance to the given client audience (sorted and
+    /// deduplicated).
+    ///
+    /// The per-component planning hook: a partitioned world narrows a
+    /// chunk's audience to the clients its data can actually reach
+    /// before running the ascent, deferring the rest explicitly instead
+    /// of feeding infinite connection costs into the solver.
+    pub fn with_clients(mut self, mut clients: Vec<NodeId>) -> Self {
+        clients.sort_unstable();
+        clients.dedup();
+        self.clients = clients;
+        self
+    }
+
     fn build_with_clients(
         net: &Network,
         weights: CostWeights,

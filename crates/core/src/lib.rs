@@ -67,5 +67,5 @@ pub mod workload;
 pub mod world;
 
 pub use error::CoreError;
-pub use model::{ChunkId, Departure, Network};
-pub use world::{CacheWorld, WorldEvent};
+pub use model::{ChunkId, Departure, Network, PartitionPolicy};
+pub use world::{CacheWorld, PartitionEvent, WorldEvent};

@@ -76,7 +76,38 @@ pub struct Network {
     /// nodes (so every id-indexed table stays aligned) but are inactive —
     /// they are not clients, never facilities, and cache nothing.
     active: Vec<bool>,
+    /// Whether mutators may split the active subgraph.
+    policy: PartitionPolicy,
+    /// Incremental component labels over the active subgraph: each active
+    /// node carries the smallest node index of its connected component;
+    /// inactive nodes carry [`NO_COMPONENT`]. Maintained by every
+    /// topology mutator under both policies, so `strict-invariants` can
+    /// cross-check it against a from-scratch BFS.
+    comp: Vec<usize>,
 }
+
+/// How [`Network`] mutators respond to an edit that would split the
+/// active subgraph.
+///
+/// The paper's cost model assumes a connected topology, so the historical
+/// (and default) behavior is to [reject](PartitionPolicy::Reject) any
+/// departure or link removal that would partition the active nodes. The
+/// partition-tolerant world layer switches to
+/// [`PartitionPolicy::Allow`], under which splits succeed and the
+/// network's incremental component tracking records them instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionPolicy {
+    /// Reject partitioning edits with [`CoreError::DisconnectedNetwork`].
+    #[default]
+    Reject,
+    /// Allow partitioning edits; component tracking records the split.
+    Allow,
+}
+
+/// Component label of inactive (departed) nodes. Active nodes are
+/// labelled with the smallest node index of their component, which is
+/// always `< node_count() < usize::MAX`.
+const NO_COMPONENT: usize = usize::MAX;
 
 /// What a node departure left behind, returned by
 /// [`Network::deactivate_node`].
@@ -143,6 +174,9 @@ impl Network {
             battery: vec![1.0; n],
             interest: BTreeMap::new(),
             active: vec![true; n],
+            policy: PartitionPolicy::default(),
+            // Connected at birth: one component labelled by node 0.
+            comp: vec![0; n],
         })
     }
 
@@ -186,6 +220,120 @@ impl Network {
             .nodes()
             .filter(|&n| self.active[n.index()])
             .collect()
+    }
+
+    /// The current [`PartitionPolicy`].
+    pub fn partition_policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// Sets how future mutators respond to partitioning edits.
+    ///
+    /// Switching policies never changes current state: component labels
+    /// are maintained under both.
+    pub fn set_partition_policy(&mut self, policy: PartitionPolicy) {
+        self.policy = policy;
+    }
+
+    /// Component label of `node`: the smallest node index of its
+    /// connected component. `None` for inactive or out-of-bounds nodes.
+    pub fn component_of(&self, node: NodeId) -> Option<usize> {
+        match self.comp.get(node.index()) {
+            Some(&c) if c != NO_COMPONENT => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `a` and `b` are both active and mutually
+    /// reachable through active nodes.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.component_of(a), self.component_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if `node` is active and can reach the producer
+    /// through active nodes.
+    pub fn in_producer_component(&self, node: NodeId) -> bool {
+        self.same_component(node, self.producer)
+    }
+
+    /// Number of connected components of the active subgraph.
+    pub fn component_count(&self) -> usize {
+        let mut labels: Vec<usize> = self
+            .comp
+            .iter()
+            .copied()
+            .filter(|&c| c != NO_COMPONENT)
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// The connected components of the active subgraph, each sorted
+    /// ascending, ordered by smallest member id — the same shape as
+    /// [`peercache_graph::components::components_of_subset`].
+    pub fn active_components(&self) -> Vec<Vec<NodeId>> {
+        let mut by_label: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+        for (i, &c) in self.comp.iter().enumerate() {
+            if c != NO_COMPONENT {
+                by_label.entry(c).or_default().push(NodeId::new(i));
+            }
+        }
+        by_label.into_values().collect()
+    }
+
+    /// Rewrites every occurrence of component label `from` to `to`.
+    fn relabel_component(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        for c in &mut self.comp {
+            if *c == from {
+                *c = to;
+            }
+        }
+    }
+
+    /// Members currently carrying component label `id`, ascending.
+    fn component_members(&self, id: usize) -> Vec<NodeId> {
+        self.comp
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == id)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+
+    /// Re-derives component labels over `members`, which must be the
+    /// full membership of one former component (ascending). A scoped BFS
+    /// suffices: any active neighbor of a member was reachable before
+    /// the edit, hence also a member.
+    fn split_components(&mut self, members: &[NodeId]) {
+        for &n in members {
+            self.comp[n.index()] = NO_COMPONENT;
+        }
+        let mut stack = Vec::new();
+        for &start in members {
+            if self.comp[start.index()] != NO_COMPONENT {
+                continue;
+            }
+            // `members` is ascending, so the first unvisited member is
+            // the smallest index of its sub-component — the new label.
+            let label = start.index();
+            self.comp[start.index()] = label;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for v in self.graph.neighbors(u) {
+                    if self.active[v.index()] && self.comp[v.index()] == NO_COMPONENT {
+                        self.comp[v.index()] = label;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
     }
 
     /// Total caching capacity of `node` in chunks (`S_tot(i)`).
@@ -483,10 +631,13 @@ impl Network {
 
     /// Returns `true` if the *active* nodes are mutually connected.
     ///
-    /// The constructor guarantees this at birth; every churn mutator
-    /// preserves it by rejecting edits that would partition the active
-    /// subgraph (a partitioned network cannot serve every client, which
-    /// the cost model has no answer for).
+    /// The constructor guarantees this at birth; under the default
+    /// [`PartitionPolicy::Reject`] every churn mutator preserves it by
+    /// rejecting edits that would partition the active subgraph. Under
+    /// [`PartitionPolicy::Allow`] it may return `false`; consult
+    /// [`Network::active_components`] for the pieces. Deliberately
+    /// answered by a from-scratch BFS, independent of the incremental
+    /// component labels.
     pub fn active_connected(&self) -> bool {
         components::is_connected_subset(&self.graph, &self.active_nodes())
     }
@@ -503,8 +654,11 @@ impl Network {
     ///
     /// * [`CoreError::InvalidParameter`] if `node` is the producer (the
     ///   chunk origin cannot depart) or already departed.
-    /// * [`CoreError::DisconnectedNetwork`] if the departure would
-    ///   partition the remaining active nodes; the network is unchanged.
+    /// * [`CoreError::DisconnectedNetwork`] under
+    ///   [`PartitionPolicy::Reject`] if the departure would partition the
+    ///   remaining active nodes; the network is unchanged. Under
+    ///   [`PartitionPolicy::Allow`] the departure succeeds and component
+    ///   tracking records the split.
     pub fn deactivate_node(&mut self, node: NodeId) -> Result<Departure, CoreError> {
         if node == self.producer {
             return Err(CoreError::InvalidParameter(format!(
@@ -516,19 +670,27 @@ impl Network {
                 "node {node} is not an active member of the network"
             )));
         }
-        let survivors: Vec<NodeId> = self
-            .active_nodes()
-            .into_iter()
-            .filter(|&n| n != node)
-            .collect();
-        if !components::is_connected_subset(&self.graph, &survivors) {
-            return Err(CoreError::DisconnectedNetwork);
+        if self.policy == PartitionPolicy::Reject {
+            let survivors: Vec<NodeId> = self
+                .active_nodes()
+                .into_iter()
+                .filter(|&n| n != node)
+                .collect();
+            if !components::is_connected_subset(&self.graph, &survivors) {
+                return Err(CoreError::DisconnectedNetwork);
+            }
         }
+        let old_label = self.comp[node.index()];
         let former_neighbors = self.graph.remove_node(node).map_err(CoreError::Graph)?;
         let lost_chunks: Vec<ChunkId> = std::mem::take(&mut self.cached[node.index()])
             .into_iter()
             .collect();
         self.active[node.index()] = false;
+        self.comp[node.index()] = NO_COMPONENT;
+        // The victim's former component may have split (and loses its
+        // label if the victim carried the smallest index): re-derive it.
+        let members = self.component_members(old_label);
+        self.split_components(&members);
         Ok(Departure {
             lost_chunks,
             former_neighbors,
@@ -570,6 +732,17 @@ impl Network {
         self.cached.push(BTreeSet::new());
         self.battery.push(1.0);
         self.active.push(true);
+        // The newcomer bridges its neighbors' components: merge them all
+        // onto the smallest label (neighbors are non-empty and active).
+        let mut target = NO_COMPONENT;
+        for &v in neighbors {
+            target = target.min(self.comp[v.index()]);
+        }
+        for &v in neighbors {
+            let label = self.comp[v.index()];
+            self.relabel_component(label, target);
+        }
+        self.comp.push(target);
         Ok(node)
     }
 
@@ -592,6 +765,9 @@ impl Network {
             return Ok(false);
         }
         self.graph.add_edge(u, v).map_err(CoreError::Graph)?;
+        // A new link may heal a partition: merge onto the smaller label.
+        let (cu, cv) = (self.comp[u.index()], self.comp[v.index()]);
+        self.relabel_component(cu.max(cv), cu.min(cv));
         Ok(true)
     }
 
@@ -600,8 +776,11 @@ impl Network {
     /// # Errors
     ///
     /// * [`CoreError::Graph`] for unknown endpoints.
-    /// * [`CoreError::DisconnectedNetwork`] if the removal would
-    ///   partition the active nodes; the network is unchanged.
+    /// * [`CoreError::DisconnectedNetwork`] under
+    ///   [`PartitionPolicy::Reject`] if the removal would partition the
+    ///   active nodes; the network is unchanged. Under
+    ///   [`PartitionPolicy::Allow`] the removal succeeds and component
+    ///   tracking records the split.
     pub fn remove_link(&mut self, u: NodeId, v: NodeId) -> Result<bool, CoreError> {
         if !self.graph.contains_edge(u, v) {
             // Bounds-check through the graph for a consistent error.
@@ -609,10 +788,18 @@ impl Network {
             return Ok(false);
         }
         self.graph.remove_edge(u, v).map_err(CoreError::Graph)?;
-        if !self.active_connected() {
-            self.graph.add_edge(u, v).map_err(CoreError::Graph)?;
-            return Err(CoreError::DisconnectedNetwork);
+        if self.policy == PartitionPolicy::Reject {
+            if !self.active_connected() {
+                self.graph.add_edge(u, v).map_err(CoreError::Graph)?;
+                return Err(CoreError::DisconnectedNetwork);
+            }
+            // Still connected: component labels are unchanged.
+            return Ok(true);
         }
+        // An edge exists only between active nodes (ghosts are isolated),
+        // so both endpoints share a component; it may now have split.
+        let members = self.component_members(self.comp[u.index()]);
+        self.split_components(&members);
         Ok(true)
     }
 
@@ -846,6 +1033,82 @@ mod tests {
         assert_eq!(err, CoreError::DisconnectedNetwork);
         assert!(net.is_active(NodeId::new(1)));
         assert_eq!(net.graph().degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn allow_policy_lets_departures_split_the_network() {
+        // Path 0-1-2: removing the middle node strands 0 from 2.
+        let mut net = Network::new(builders::path(3), NodeId::new(0), 1).unwrap();
+        net.set_partition_policy(PartitionPolicy::Allow);
+        net.deactivate_node(NodeId::new(1)).unwrap();
+        assert!(!net.active_connected());
+        assert_eq!(net.component_count(), 2);
+        assert_eq!(net.component_of(NodeId::new(0)), Some(0));
+        assert_eq!(net.component_of(NodeId::new(1)), None);
+        assert_eq!(net.component_of(NodeId::new(2)), Some(2));
+        assert!(!net.same_component(NodeId::new(0), NodeId::new(2)));
+        assert!(net.in_producer_component(NodeId::new(0)));
+        assert!(!net.in_producer_component(NodeId::new(2)));
+    }
+
+    #[test]
+    fn allow_policy_lets_link_removal_split_and_add_link_heal() {
+        // Path 0-1-2-3, producer 0.
+        let mut net = Network::new(builders::path(4), NodeId::new(0), 1).unwrap();
+        net.set_partition_policy(PartitionPolicy::Allow);
+        assert!(net.remove_link(NodeId::new(1), NodeId::new(2)).unwrap());
+        assert_eq!(net.component_count(), 2);
+        assert_eq!(
+            net.active_components(),
+            vec![
+                vec![NodeId::new(0), NodeId::new(1)],
+                vec![NodeId::new(2), NodeId::new(3)],
+            ]
+        );
+        // Heal through a different edge; the labels merge onto 0.
+        assert!(net.add_link(NodeId::new(0), NodeId::new(3)).unwrap());
+        assert_eq!(net.component_count(), 1);
+        assert!(net.same_component(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn joining_node_bridges_components() {
+        let mut net = Network::new(builders::path(3), NodeId::new(0), 1).unwrap();
+        net.set_partition_policy(PartitionPolicy::Allow);
+        net.remove_link(NodeId::new(1), NodeId::new(2)).unwrap();
+        assert_eq!(net.component_count(), 2);
+        let id = net.join_node(&[NodeId::new(1), NodeId::new(2)], 1).unwrap();
+        assert_eq!(net.component_count(), 1);
+        assert_eq!(net.component_of(id), Some(0));
+        assert!(net.same_component(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn component_labels_match_a_from_scratch_bfs_after_churn() {
+        let mut net = net3x3();
+        net.set_partition_policy(PartitionPolicy::Allow);
+        // Carve the grid up: lose a corner, cut the middle column.
+        net.deactivate_node(NodeId::new(0)).unwrap();
+        net.remove_link(NodeId::new(1), NodeId::new(2)).unwrap();
+        net.remove_link(NodeId::new(5), NodeId::new(2)).unwrap();
+        net.remove_link(NodeId::new(7), NodeId::new(8)).unwrap();
+        net.remove_link(NodeId::new(5), NodeId::new(8)).unwrap();
+        let expected = components::components_of_subset(net.graph(), &net.active_nodes());
+        assert_eq!(net.active_components(), expected);
+        assert!(expected.len() > 1);
+        // Heal everything back and re-check.
+        net.add_link(NodeId::new(1), NodeId::new(2)).unwrap();
+        net.add_link(NodeId::new(7), NodeId::new(8)).unwrap();
+        let expected = components::components_of_subset(net.graph(), &net.active_nodes());
+        assert_eq!(net.active_components(), expected);
+        assert_eq!(net.component_count(), 1);
+    }
+
+    #[test]
+    fn default_policy_is_reject() {
+        let net = net3x3();
+        assert_eq!(net.partition_policy(), PartitionPolicy::Reject);
+        assert_eq!(net.component_count(), 1);
     }
 
     #[test]

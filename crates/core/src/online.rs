@@ -45,6 +45,16 @@ impl OnlineCache {
         self
     }
 
+    /// Switches the underlying world to partition-tolerant semantics
+    /// (see [`CacheWorld::partition_tolerant`]): topology events applied
+    /// through [`OnlineCache::into_world`]'s world may then split the
+    /// network, with arrivals planned per component and unreachable
+    /// demand deferred.
+    pub fn partition_tolerant(mut self) -> Self {
+        self.world = self.world.partition_tolerant();
+        self
+    }
+
     /// The current network state.
     pub fn network(&self) -> &Network {
         self.world.network()

@@ -186,6 +186,12 @@ pub fn improve_by_removal_reference(
 /// Evaluates `facilities` for `chunk`, commits the copies to the
 /// network, and returns the chunk's placement record.
 ///
+/// Partition-aware by construction: the instance's client list is the
+/// chunk's audience, so a partition-tolerant world that restricted it to
+/// one component (see [`crate::instance::ConflInstance::with_clients`])
+/// gets an assignment, tree, and costs scoped to that component — no
+/// infinite cross-partition terms can enter.
+///
 /// # Errors
 ///
 /// Propagates storage errors from [`Network::cache`] and evaluation

@@ -7,7 +7,7 @@
 //! determinism and churn test suites run with this feature enabled and
 //! every violation panics at the point of corruption.
 //!
-//! Three oracles:
+//! Four oracles:
 //!
 //! * [`check_dual_solution`] — re-runs the *reference* round-scanning dual
 //!   ascent with dual-feasibility and complementary-slackness assertions
@@ -19,6 +19,9 @@
 //! * [`check_tree_connectivity`] — verifies every placement's
 //!   dissemination (Steiner) tree actually connects its caches to the
 //!   producer.
+//! * [`check_component_tracking`] — compares the network's incremental
+//!   connected-component labels against a from-scratch BFS over the
+//!   active subgraph.
 //!
 //! The functions panic (rather than returning `Result`) by design: a
 //! violated invariant means internal state is already corrupted, and the
@@ -283,10 +286,15 @@ pub fn check_matrix_consistency(
 /// Verifies that `placement`'s dissemination tree connects every caching
 /// node to the producer.
 ///
+/// Caches outside the producer's connected component are skipped: a
+/// partition-tolerant world keeps detached replicas serving their own
+/// island, and those are by definition not on the producer-side tree.
+/// On a connected network (the default policy) nothing is skipped.
+///
 /// # Panics
 ///
-/// Panics if a tree edge references an unknown node or a cache is not
-/// reachable from the producer through the tree edges.
+/// Panics if a tree edge references an unknown node or a producer-side
+/// cache is not reachable from the producer through the tree edges.
 pub fn check_tree_connectivity(net: &Network, placement: &ChunkPlacement) {
     if placement.caches.is_empty() {
         return; // every client fetches from the producer; no tree needed
@@ -313,6 +321,9 @@ pub fn check_tree_connectivity(net: &Network, placement: &ChunkPlacement) {
     }
     let root = find(&mut parent, net.producer().index());
     for &c in &placement.caches {
+        if !net.in_producer_component(c) {
+            continue; // detached replica: serves its island off-tree
+        }
         assert!(
             find(&mut parent, c.index()) == root,
             "strict-invariants: chunk {:?}: cache {c} is not connected to the \
@@ -322,4 +333,26 @@ pub fn check_tree_connectivity(net: &Network, placement: &ChunkPlacement) {
             placement.tree_edges
         );
     }
+}
+
+/// Compares the network's incremental component labels against a
+/// from-scratch BFS over the active subgraph.
+///
+/// The partition-tolerant world relies on `Network`'s labels for every
+/// served/deferred audience decision; any drift (a missed split, a stale
+/// merge) silently corrupts planning, so the check requires exact
+/// structural equality, including component order.
+///
+/// # Panics
+///
+/// Panics if the incremental labels disagree with the BFS.
+pub fn check_component_tracking(net: &Network) {
+    let expected =
+        peercache_graph::components::components_of_subset(net.graph(), &net.active_nodes());
+    let got = net.active_components();
+    assert!(
+        got == expected,
+        "strict-invariants: incremental component labels diverged from the \
+         from-scratch BFS: incremental {got:?} vs BFS {expected:?}"
+    );
 }

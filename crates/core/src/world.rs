@@ -38,7 +38,7 @@ use crate::costs::ContentionMatrix;
 use crate::instance::{ConflInstance, SetCosts};
 use crate::placement::{recost_final, ChunkPlacement, Placement};
 use crate::planner::{commit_chunk, prune_unused_facilities};
-use crate::{ChunkId, CoreError, Network};
+use crate::{ChunkId, CoreError, Network, PartitionPolicy};
 
 /// One step of the dynamic environment driving a [`CacheWorld`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +98,33 @@ pub enum EventOutcome {
         /// Live chunks whose dissemination trees crossed the dropped
         /// link and were rebuilt.
         refreshed: Vec<ChunkId>,
+    },
+}
+
+/// A partition transition observed by a partition-tolerant world,
+/// recorded in a drainable log (see
+/// [`CacheWorld::take_partition_events`]).
+///
+/// Kept out of [`EventOutcome`] so existing consumers of the outcome
+/// enum keep compiling: any [`WorldEvent`] can form or heal a partition
+/// as a side effect of its primary outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionEvent {
+    /// The active subgraph split into more components than before.
+    Formed {
+        /// The components after the split, each sorted ascending.
+        components: Vec<Vec<NodeId>>,
+        /// Interested clients of live chunks left without any reachable
+        /// data source (producer or replica) — their demand is deferred.
+        deferred_clients: usize,
+    },
+    /// Components merged back together.
+    Healed {
+        /// The components after the merge, each sorted ascending.
+        components: Vec<Vec<NodeId>>,
+        /// Previously deferred clients that regained a data source and
+        /// were folded back into the live assignments.
+        restored_clients: usize,
     },
 }
 
@@ -196,6 +223,13 @@ pub struct CacheWorld {
     /// Wall-clock source for repair timing; injectable so the
     /// deterministic layers never read ambient time (lint rule D2).
     clock: MonotonicClock,
+    /// Whether the world degrades gracefully across partitions instead
+    /// of rejecting partitioning events (see
+    /// [`CacheWorld::partition_tolerant`]).
+    partition_mode: bool,
+    /// Partition transitions observed so far, drained by
+    /// [`CacheWorld::take_partition_events`].
+    partition_log: Vec<PartitionEvent>,
 }
 
 impl CacheWorld {
@@ -214,7 +248,40 @@ impl CacheWorld {
             events_applied: 0,
             repair_wall_us: 0,
             clock: MonotonicClock::default(),
+            partition_mode: false,
+            partition_log: Vec::new(),
         }
+    }
+
+    /// Switches the world to partition-tolerant semantics.
+    ///
+    /// Departures and link drops that split the active subgraph succeed
+    /// (the network moves to [`PartitionPolicy::Allow`]); planning and
+    /// repair then run **per component**: a chunk's audience narrows to
+    /// the clients whose component holds a data source (the producer or
+    /// a surviving replica), the demand of everyone else is explicitly
+    /// *deferred* rather than served through infinite-cost paths, and
+    /// dissemination trees span only the producer-side replicas —
+    /// detached replicas keep serving their own island off-tree. When
+    /// components merge again, every live record is reconciled against
+    /// the healed reachability and the deferred clients fold back in.
+    /// Transitions are reported as typed [`PartitionEvent`]s.
+    pub fn partition_tolerant(mut self) -> Self {
+        self.net.set_partition_policy(PartitionPolicy::Allow);
+        self.partition_mode = true;
+        self
+    }
+
+    /// Whether this world tolerates partitions (see
+    /// [`CacheWorld::partition_tolerant`]).
+    pub fn is_partition_tolerant(&self) -> bool {
+        self.partition_mode
+    }
+
+    /// Drains the partition transitions observed since the last call
+    /// (oldest first). Always empty outside partition-tolerant mode.
+    pub fn take_partition_events(&mut self) -> Vec<PartitionEvent> {
+        std::mem::take(&mut self.partition_log)
     }
 
     /// Keep at most `chunks` live chunks; older ones are retired before
@@ -309,6 +376,58 @@ impl CacheWorld {
         Ok(())
     }
 
+    /// Clients of `chunk` whose component contains a data source — the
+    /// producer or a surviving replica. On a connected network this is
+    /// exactly [`Network::interested_clients`].
+    pub fn served_clients(&self, chunk: ChunkId) -> Vec<NodeId> {
+        let interested = self.net.interested_clients(chunk);
+        if !self.partition_mode || self.net.component_count() <= 1 {
+            return interested;
+        }
+        let mut sources: Vec<usize> = self
+            .net
+            .component_of(self.net.producer())
+            .into_iter()
+            .chain(
+                self.net
+                    .holders(chunk)
+                    .into_iter()
+                    .filter_map(|h| self.net.component_of(h)),
+            )
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        interested
+            .into_iter()
+            .filter(|&j| {
+                self.net
+                    .component_of(j)
+                    .is_some_and(|c| sources.binary_search(&c).is_ok())
+            })
+            .collect()
+    }
+
+    /// Interested clients of `chunk` currently cut off from every data
+    /// source — their demand is deferred until a heal. Empty on a
+    /// connected network.
+    pub fn deferred_clients(&self, chunk: ChunkId) -> Vec<NodeId> {
+        let served = self.served_clients(chunk);
+        self.net
+            .interested_clients(chunk)
+            .into_iter()
+            .filter(|j| served.binary_search(j).is_err())
+            .collect()
+    }
+
+    /// Total deferred demand across all live chunks (the
+    /// `world.deferred_demand` gauge).
+    pub fn deferred_demand(&self) -> usize {
+        self.live
+            .iter()
+            .map(|&chunk| self.deferred_clients(chunk).len())
+            .sum()
+    }
+
     /// Applies one event and reports what it did.
     ///
     /// On error the underlying network is untouched (every mutator
@@ -319,9 +438,20 @@ impl CacheWorld {
     /// * [`CoreError::InvalidParameter`] for events naming departed or
     ///   unknown nodes, or a departing producer.
     /// * [`CoreError::DisconnectedNetwork`] if a departure or link drop
-    ///   would partition the active nodes.
+    ///   would partition the active nodes — only outside
+    ///   [partition-tolerant mode](CacheWorld::partition_tolerant).
     /// * Planning and storage errors from chunk placement.
     pub fn apply(&mut self, event: WorldEvent) -> Result<EventOutcome, CoreError> {
+        let comps_before = if self.partition_mode {
+            self.net.component_count()
+        } else {
+            1
+        };
+        let deferred_before = if self.partition_mode {
+            self.deferred_demand()
+        } else {
+            0
+        };
         let outcome = match event {
             WorldEvent::ChunkArrived => EventOutcome::Placed(self.place_next_chunk()?),
             WorldEvent::ChunkRetired(chunk) => EventOutcome::Retired {
@@ -344,10 +474,58 @@ impl CacheWorld {
                 EventOutcome::LinkRemoved { removed, refreshed }
             }
         };
+        if self.partition_mode {
+            self.reconcile_partitions(comps_before, deferred_before)?;
+        }
         self.events_applied += 1;
         #[cfg(feature = "strict-invariants")]
         self.strict_check();
         Ok(outcome)
+    }
+
+    /// Post-event partition bookkeeping: when the component count moved,
+    /// every live record is re-derived against the new reachability
+    /// (narrowing audiences on a split, folding deferred demand back in
+    /// on a heal) and a typed [`PartitionEvent`] is logged.
+    fn reconcile_partitions(
+        &mut self,
+        comps_before: usize,
+        deferred_before: usize,
+    ) -> Result<(), CoreError> {
+        let comps_after = self.net.component_count();
+        if comps_after != comps_before {
+            for chunk in self.live.clone() {
+                self.refresh_chunk(chunk)?;
+            }
+            let deferred_after = self.deferred_demand();
+            let components = self.net.active_components();
+            if comps_after > comps_before {
+                obs::event!(
+                    "world.partition_formed",
+                    components = comps_after,
+                    deferred_clients = deferred_after,
+                );
+                self.partition_log.push(PartitionEvent::Formed {
+                    components,
+                    deferred_clients: deferred_after,
+                });
+            } else {
+                let restored = deferred_before.saturating_sub(deferred_after);
+                obs::event!(
+                    "world.partition_healed",
+                    components = comps_after,
+                    restored_clients = restored,
+                );
+                self.partition_log.push(PartitionEvent::Healed {
+                    components,
+                    restored_clients: restored,
+                });
+            }
+        }
+        if obs::enabled() {
+            obs::gauge("world.deferred_demand").set(self.deferred_demand() as i64);
+        }
+        Ok(())
     }
 
     /// Runtime oracle run after every event under `strict-invariants`:
@@ -361,6 +539,7 @@ impl CacheWorld {
     /// Panics on any violated invariant (corrupted incremental state).
     #[cfg(feature = "strict-invariants")]
     fn strict_check(&self) {
+        crate::strict::check_component_tracking(&self.net);
         if let Some(matrix) = &self.matrix {
             crate::strict::check_matrix_consistency(
                 matrix,
@@ -434,7 +613,11 @@ impl CacheWorld {
                     p.caches
                 ));
             }
-            let audience = self.net.interested_clients(chunk);
+            // Under partition tolerance the record must cover exactly
+            // the *served* audience; deferred clients are tracked, not
+            // assigned. On a connected network this is the full
+            // interested audience, as before.
+            let audience = self.served_clients(chunk);
             let assigned: Vec<NodeId> = p.assignment.iter().map(|&(j, _)| j).collect();
             if assigned != audience {
                 return fail(format!(
@@ -445,6 +628,12 @@ impl CacheWorld {
                 if !self.net.is_active(provider) || !self.net.can_serve(provider, chunk) {
                     return fail(format!(
                         "chunk {chunk}: client {client} is orphaned (provider {provider})"
+                    ));
+                }
+                if !self.net.same_component(client, provider) {
+                    return fail(format!(
+                        "chunk {chunk}: client {client} assigned across a \
+                         partition to provider {provider}"
                     ));
                 }
             }
@@ -471,8 +660,19 @@ impl CacheWorld {
     ///
     /// # Errors
     ///
-    /// Propagates planning failures from the oracle replan.
+    /// Propagates planning failures from the oracle replan. In
+    /// partition-tolerant mode the oracle requires a currently-connected
+    /// network (a from-scratch replan of a split world has no
+    /// well-defined single cost) and returns
+    /// [`CoreError::InvalidParameter`] while partitioned.
     pub fn repair_vs_replan(&self) -> Result<RepairVsReplan, CoreError> {
+        if self.partition_mode && self.net.component_count() > 1 {
+            return Err(CoreError::InvalidParameter(
+                "repair_vs_replan requires a connected network; wait for \
+                 partitions to heal"
+                    .into(),
+            ));
+        }
         let live_placement: Placement = self
             .live
             .iter()
@@ -557,13 +757,7 @@ impl CacheWorld {
         let chunk = ChunkId::new(self.next_chunk);
         self.next_chunk += 1;
         let mut span = obs::span!("online.insert", chunk = chunk.index());
-        let matrix = self.take_matrix()?;
-        let inst = ConflInstance::build_for_chunk_with_matrix(
-            &self.net,
-            chunk,
-            self.config.weights,
-            matrix,
-        );
+        let inst = self.build_instance(chunk)?;
         let (facilities, stats) = dual_ascent(&self.net, &inst, &self.config)?;
         let facilities = prune_unused_facilities(&self.net, &inst, &facilities);
         let placement = commit_chunk(&mut self.net, &inst, chunk, &facilities)?;
@@ -726,20 +920,28 @@ impl CacheWorld {
         chunk: ChunkId,
         orphans: &[NodeId],
     ) -> Result<Vec<NodeId>, CoreError> {
-        let matrix = self.take_matrix()?;
-        let inst = ConflInstance::build_for_chunk_with_matrix(
-            &self.net,
-            chunk,
-            self.config.weights,
-            matrix,
-        );
+        let inst = self.build_instance(chunk)?;
         let survivors = self.net.holders(chunk);
-        let newly = repair_ascent(&self.net, &inst, &survivors, orphans, &self.config)?;
+        // Orphans whose component lost every data source cannot be
+        // re-served; their demand is deferred (the instance's audience
+        // excludes them already), not fed into the ascent.
+        let orphans: Vec<NodeId> = orphans
+            .iter()
+            .copied()
+            .filter(|j| inst.clients().binary_search(j).is_ok())
+            .collect();
+        let newly = repair_ascent(&self.net, &inst, &survivors, &orphans, &self.config)?;
         // One Steiner solver over every node the repair may touch
         // answers the trim scoring and the final tree alike (the same
         // per-terminal shortest-path-tree reuse as
-        // `improve_by_removal`).
-        let mut universe: Vec<NodeId> = survivors.iter().chain(&newly).copied().collect();
+        // `improve_by_removal`). Detached replicas serve their island
+        // off-tree, so only producer-side nodes enter the solver.
+        let mut universe: Vec<NodeId> = survivors
+            .iter()
+            .filter(|&&s| self.net.in_producer_component(s))
+            .chain(&newly)
+            .copied()
+            .collect();
         universe.push(inst.producer());
         universe.sort_unstable();
         universe.dedup();
@@ -751,7 +953,11 @@ impl CacheWorld {
         caches.extend(newly.iter().copied());
         caches.sort_unstable();
         let (assignment, access) = inst.assign_clients(&self.net, &caches);
-        let mut terminals = caches.clone();
+        let mut terminals: Vec<NodeId> = caches
+            .iter()
+            .copied()
+            .filter(|&c| self.net.in_producer_component(c))
+            .collect();
         terminals.push(inst.producer());
         let tree = solver.tree(&terminals)?;
         let eval = HolderEval {
@@ -799,13 +1005,7 @@ impl CacheWorld {
     /// Refreshes a live chunk's record in place — same copies, fresh
     /// assignment and dissemination tree under the current snapshot.
     fn refresh_chunk(&mut self, chunk: ChunkId) -> Result<(), CoreError> {
-        let matrix = self.take_matrix()?;
-        let inst = ConflInstance::build_for_chunk_with_matrix(
-            &self.net,
-            chunk,
-            self.config.weights,
-            matrix,
-        );
+        let inst = self.build_instance(chunk)?;
         let caches = self.net.holders(chunk);
         let eval = evaluate_holders(&self.net, &inst, &caches)?;
         let old_fairness = self.placements[&chunk].costs.fairness;
@@ -837,7 +1037,12 @@ impl CacheWorld {
             return Ok(());
         }
         let matrix = self.take_matrix()?;
-        let mut universe: Vec<NodeId> = chunks.iter().flat_map(|&c| self.net.holders(c)).collect();
+        // Detached replicas stay off the producer-side trees.
+        let mut universe: Vec<NodeId> = chunks
+            .iter()
+            .flat_map(|&c| self.net.holders(c))
+            .filter(|&h| self.net.in_producer_component(h))
+            .collect();
         universe.push(self.net.producer());
         universe.sort_unstable();
         universe.dedup();
@@ -846,20 +1051,19 @@ impl CacheWorld {
         })?;
         let mut trees = Vec::with_capacity(chunks.len());
         for &chunk in chunks {
-            let mut terminals = self.net.holders(chunk);
+            let mut terminals: Vec<NodeId> = self
+                .net
+                .holders(chunk)
+                .into_iter()
+                .filter(|&h| self.net.in_producer_component(h))
+                .collect();
             terminals.push(self.net.producer());
             trees.push(solver.tree(&terminals)?);
         }
         drop(solver);
         self.matrix = Some(matrix);
         for (&chunk, tree) in chunks.iter().zip(trees) {
-            let matrix = self.take_matrix()?;
-            let inst = ConflInstance::build_for_chunk_with_matrix(
-                &self.net,
-                chunk,
-                self.config.weights,
-                matrix,
-            );
+            let inst = self.build_instance(chunk)?;
             let caches = self.net.holders(chunk);
             let (assignment, access) = inst.assign_clients(&self.net, &caches);
             let old_fairness = self.placements[&chunk].costs.fairness;
@@ -887,13 +1091,7 @@ impl CacheWorld {
     /// the current snapshot. Only valid when the triggering change
     /// cannot have removed any of the recorded tree edges.
     fn refresh_chunk_keeping_tree(&mut self, chunk: ChunkId) -> Result<(), CoreError> {
-        let matrix = self.take_matrix()?;
-        let inst = ConflInstance::build_for_chunk_with_matrix(
-            &self.net,
-            chunk,
-            self.config.weights,
-            matrix,
-        );
+        let inst = self.build_instance(chunk)?;
         let caches = self.net.holders(chunk);
         let (assignment, access) = inst.assign_clients(&self.net, &caches);
         let p = &self.placements[&chunk];
@@ -925,6 +1123,26 @@ impl CacheWorld {
     // ------------------------------------------------------------------
     // Carried-snapshot plumbing.
     // ------------------------------------------------------------------
+
+    /// Builds `chunk`'s ConFL instance over the carried snapshot. In
+    /// partition-tolerant mode the audience is restricted to the served
+    /// clients, so planning runs per component and never feeds an
+    /// infinite (cross-partition) connection cost into an ascent's
+    /// round bound.
+    fn build_instance(&mut self, chunk: ChunkId) -> Result<ConflInstance, CoreError> {
+        let audience = self.served_clients(chunk);
+        let matrix = self.take_matrix()?;
+        let mut inst = ConflInstance::build_for_chunk_with_matrix(
+            &self.net,
+            chunk,
+            self.config.weights,
+            matrix,
+        );
+        if self.partition_mode {
+            inst = inst.with_clients(audience);
+        }
+        Ok(inst)
+    }
 
     /// Hands out the carried snapshot (computing it on first use).
     fn take_matrix(&mut self) -> Result<ContentionMatrix, CoreError> {
@@ -978,7 +1196,13 @@ fn evaluate_holders(
     caches: &[NodeId],
 ) -> Result<HolderEval, CoreError> {
     let (assignment, access) = inst.assign_clients(net, caches);
-    let mut terminals: Vec<NodeId> = caches.to_vec();
+    // Replicas detached from the producer serve their island off-tree
+    // (no-op on a connected network).
+    let mut terminals: Vec<NodeId> = caches
+        .iter()
+        .copied()
+        .filter(|&c| net.in_producer_component(c))
+        .collect();
     terminals.push(inst.producer());
     let tree = steiner::steiner_tree(net.graph(), &terminals, |u, v| {
         inst.matrix().edge_cost(u, v)
@@ -1005,7 +1229,7 @@ fn evaluate_holders(
 ///
 /// Returns the newly opened facilities in opening order.
 fn repair_ascent(
-    _net: &Network,
+    net: &Network,
     inst: &ConflInstance,
     survivors: &[NodeId],
     orphans: &[NodeId],
@@ -1023,11 +1247,14 @@ fn repair_ascent(
     }
     let producer = inst.producer();
     // New copies can only go to finite-cost candidates that do not
-    // already hold the chunk.
+    // already hold the chunk. Under partition tolerance they are also
+    // confined to the producer's component: a copy needs a path to
+    // receive the bytes, and detached islands are covered by their
+    // surviving replicas only (no-op on a connected network).
     let candidates: Vec<NodeId> = inst
         .candidates()
         .into_iter()
-        .filter(|c| !survivors.contains(c))
+        .filter(|c| !survivors.contains(c) && net.in_producer_component(*c))
         .collect();
     let mut opened: Vec<NodeId> = Vec::new();
     let mut alpha = vec![0.0f64; orphans.len()];
@@ -1133,7 +1360,10 @@ fn trim_new_facilities<W: Fn(NodeId, NodeId) -> f64>(
         let mut caches: Vec<NodeId> = survivors.iter().chain(subset).copied().collect();
         caches.sort_unstable();
         let (_, access) = inst.assign_clients(net, &caches);
-        let mut terminals = caches;
+        let mut terminals: Vec<NodeId> = caches
+            .into_iter()
+            .filter(|&c| net.in_producer_component(c))
+            .collect();
         terminals.push(inst.producer());
         let tree = solver.tree(&terminals)?;
         let fairness: f64 = subset.iter().map(|&i| inst.facility_cost(i)).sum();
@@ -1173,6 +1403,136 @@ mod tests {
     fn departing_holder(w: &CacheWorld) -> NodeId {
         let chunk = w.live_chunks()[0];
         w.placement(chunk).unwrap().caches[0]
+    }
+
+    #[test]
+    fn partition_defers_and_heal_restores_unreachable_demand() {
+        use peercache_graph::builders;
+        // Path 0-1-2-3-4, producer 0; a huge span threshold keeps every
+        // client producer-served, so reachability is unambiguous.
+        let net = Network::new(builders::path(5), NodeId::new(0), 2).unwrap();
+        let cfg = ApproxConfig {
+            span_threshold: 100,
+            ..ApproxConfig::default()
+        };
+        let mut w = CacheWorld::new(net, cfg).partition_tolerant();
+        assert!(w.is_partition_tolerant());
+        w.apply(WorldEvent::ChunkArrived).unwrap();
+        let chunk = w.live_chunks()[0];
+        assert!(w.network().holders(chunk).is_empty());
+
+        // Node 2 is a cut vertex: its departure splits {0,1} from {3,4}.
+        let out = w.apply(WorldEvent::NodeDeparted(NodeId::new(2))).unwrap();
+        assert!(matches!(out, EventOutcome::Departed(_)));
+        assert_eq!(w.network().component_count(), 2);
+        assert_eq!(
+            w.deferred_clients(chunk),
+            vec![NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(w.deferred_demand(), 2);
+        let assigned: Vec<NodeId> = w
+            .placement(chunk)
+            .unwrap()
+            .assignment
+            .iter()
+            .map(|&(j, _)| j)
+            .collect();
+        assert_eq!(assigned, vec![NodeId::new(1)]);
+        w.validate().unwrap();
+        let events = w.take_partition_events();
+        assert!(matches!(
+            events.as_slice(),
+            [PartitionEvent::Formed {
+                deferred_clients: 2,
+                ..
+            }]
+        ));
+        // The replan oracle refuses to price a split world.
+        assert!(matches!(
+            w.repair_vs_replan(),
+            Err(CoreError::InvalidParameter(_))
+        ));
+
+        // Arrivals while split plan for the producer's component only.
+        w.apply(WorldEvent::ChunkArrived).unwrap();
+        let second = w.live_chunks()[1];
+        assert_eq!(
+            w.deferred_clients(second),
+            vec![NodeId::new(3), NodeId::new(4)]
+        );
+        w.validate().unwrap();
+
+        // A joining node bridges the islands; deferred demand folds back.
+        w.apply(WorldEvent::NodeJoined {
+            neighbors: vec![NodeId::new(1), NodeId::new(3)],
+            capacity: 2,
+        })
+        .unwrap();
+        assert_eq!(w.network().component_count(), 1);
+        assert_eq!(w.deferred_demand(), 0);
+        let events = w.take_partition_events();
+        assert!(matches!(
+            events.as_slice(),
+            [PartitionEvent::Healed {
+                restored_clients: 4,
+                ..
+            }]
+        ));
+        for &c in w.live_chunks() {
+            let assigned: Vec<NodeId> = w
+                .placement(c)
+                .unwrap()
+                .assignment
+                .iter()
+                .map(|&(j, _)| j)
+                .collect();
+            assert_eq!(assigned, w.network().interested_clients(c));
+        }
+        w.validate().unwrap();
+        w.repair_vs_replan().unwrap();
+    }
+
+    #[test]
+    fn link_partition_forms_and_heals_via_the_same_edge() {
+        let mut w = world().partition_tolerant();
+        w.insert_chunk().unwrap();
+        let chunk = w.live_chunks()[0];
+        // Isolate a corner of the 4x4 grid that caches nothing.
+        let producer = w.network().producer();
+        let corner = [0usize, 3, 12, 15]
+            .into_iter()
+            .map(NodeId::new)
+            .find(|&c| c != producer && !w.network().holders(chunk).contains(&c))
+            .expect("some corner is neither producer nor holder");
+        let (a, b) = match corner.index() {
+            0 => (1, 4),
+            3 => (2, 7),
+            12 => (8, 13),
+            _ => (11, 14),
+        };
+        w.apply(WorldEvent::LinkDown(corner, NodeId::new(a)))
+            .unwrap();
+        assert!(w.take_partition_events().is_empty(), "still connected");
+        w.apply(WorldEvent::LinkDown(corner, NodeId::new(b)))
+            .unwrap();
+        assert_eq!(w.network().component_count(), 2);
+        assert_eq!(w.deferred_clients(chunk), vec![corner]);
+        assert!(matches!(
+            w.take_partition_events().as_slice(),
+            [PartitionEvent::Formed { .. }]
+        ));
+        w.validate().unwrap();
+        w.apply(WorldEvent::LinkUp(corner, NodeId::new(a))).unwrap();
+        assert_eq!(w.network().component_count(), 1);
+        assert!(matches!(
+            w.take_partition_events().as_slice(),
+            [PartitionEvent::Healed {
+                restored_clients: 1,
+                ..
+            }]
+        ));
+        assert_eq!(w.deferred_demand(), 0);
+        w.validate().unwrap();
     }
 
     #[test]

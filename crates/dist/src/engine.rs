@@ -76,6 +76,7 @@ pub struct Engine {
     stats: MessageStats,
     loss: Option<(f64, ChaCha8Rng)>,
     jitter: Option<(u32, ChaCha8Rng)>,
+    payload_misses: u64,
 }
 
 impl Engine {
@@ -89,6 +90,7 @@ impl Engine {
             stats: MessageStats::default(),
             loss: None,
             jitter: None,
+            payload_misses: 0,
         }
     }
 
@@ -160,18 +162,34 @@ impl Engine {
     /// Pops the next delivery, advancing the clock to its time.
     /// Returns `None` when the queue is empty.
     pub fn next_delivery(&mut self) -> Option<Delivery> {
-        let Reverse((key, slot)) = self.queue.pop()?;
-        self.now = key.at;
         // Every queue entry points at a filled payload slot by
         // construction (`send` pushes both together); if the bookkeeping
-        // ever diverged, ending delivery beats panicking mid-protocol
-        // (lint rule P1).
-        let delivery = self.payloads.get_mut(slot.index())?.take()?;
-        self.stats.record(delivery.msg.kind());
-        if obs::enabled() {
-            delivered_counter(delivery.msg.kind()).incr();
+        // ever diverged, skipping the phantom entry (and counting it as
+        // a [`crate::ProtocolError::MissingPayload`] occurrence for the
+        // run report) beats panicking mid-protocol (lint rule P1).
+        while let Some(Reverse((key, slot))) = self.queue.pop() {
+            self.now = key.at;
+            let Some(delivery) = self.payloads.get_mut(slot.index()).and_then(Option::take) else {
+                self.payload_misses += 1;
+                if obs::enabled() {
+                    obs::counter("dist.engine.payload_miss").incr();
+                }
+                continue;
+            };
+            self.stats.record(delivery.msg.kind());
+            if obs::enabled() {
+                delivered_counter(delivery.msg.kind()).incr();
+            }
+            return Some(delivery);
         }
-        Some(delivery)
+        None
+    }
+
+    /// Queue entries that pointed at an empty payload slot — each one is
+    /// a would-be [`crate::ProtocolError::MissingPayload`], surfaced as
+    /// a counter instead of an abort so the round can finish.
+    pub fn payload_misses(&self) -> u64 {
+        self.payload_misses
     }
 
     /// Peeks at the time of the next pending delivery.
@@ -196,6 +214,8 @@ fn delivered_counter(kind: MessageKind) -> &'static obs::Counter {
         MessageKind::Freeze => obs::counter("dist.msg.freeze"),
         MessageKind::NAdmin => obs::counter("dist.msg.nadmin"),
         MessageKind::BAdmin => obs::counter("dist.msg.badmin"),
+        MessageKind::Ping => obs::counter("dist.msg.ping"),
+        MessageKind::Pong => obs::counter("dist.msg.pong"),
     }
 }
 

@@ -32,6 +32,18 @@ pub enum ProtocolError {
     },
 }
 
+impl ProtocolError {
+    /// Short stable name of the error variant, for counters and run
+    /// reports (see [`crate::RunReport::first_error`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolError::Graph(_) => "Graph",
+            ProtocolError::ViewMemberMissing { .. } => "ViewMemberMissing",
+            ProtocolError::MissingPayload { .. } => "MissingPayload",
+        }
+    }
+}
+
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

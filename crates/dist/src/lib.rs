@@ -10,10 +10,17 @@
 //!
 //! * [`engine`] — the discrete-event core: virtual clock, event queue,
 //!   hop-delayed delivery, optional message loss.
-//! * [`protocol`] — the seven message types and per-type statistics.
+//! * [`protocol`] — the Table II message types (plus the lease-probe
+//!   PING/PONG pair) and per-type statistics.
 //! * [`view`] — each node's k-hop local view (the result of the CC
 //!   contention-collection exchange).
-//! * [`sim`] — the per-chunk protocol state machine.
+//! * [`chaos`] — the deterministic chaos harness: a seeded
+//!   [`chaos::FaultPlan`] of drops, duplication, reordering,
+//!   corruption, partition windows, flapping links, grey nodes, and
+//!   scheduled deaths.
+//! * [`sim`] — the per-chunk protocol state machine, with opt-in
+//!   retry/backoff, FREEZE leases, and election timeouts
+//!   ([`sim::LivenessConfig`]) for partition tolerance.
 //! * [`runner`] — [`DistributedPlanner`], a drop-in
 //!   [`peercache_core::planner::CachePlanner`] that runs the protocol
 //!   chunk by chunk and reports message counts.
@@ -34,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod error;
 pub mod protocol;
@@ -41,5 +49,7 @@ pub mod runner;
 pub mod sim;
 pub mod view;
 
+pub use chaos::{FaultPlan, FaultStats};
 pub use error::ProtocolError;
 pub use runner::{DistributedConfig, DistributedPlanner, RunReport};
+pub use sim::LivenessConfig;

@@ -56,6 +56,17 @@ pub enum Message {
         /// The new admin (caching) node.
         admin: NodeId,
     },
+    /// Lease probe: a frozen client checks its provider is still alive
+    /// and reachable (liveness extension; not in Table II).
+    Ping {
+        /// The probing client.
+        from: NodeId,
+    },
+    /// Lease renewal: the provider's answer to [`Message::Ping`].
+    Pong {
+        /// The provider renewing the lease.
+        provider: NodeId,
+    },
 }
 
 impl Message {
@@ -70,11 +81,14 @@ impl Message {
             Message::Freeze { .. } => MessageKind::Freeze,
             Message::NAdmin { .. } => MessageKind::NAdmin,
             Message::BAdmin { .. } => MessageKind::BAdmin,
+            Message::Ping { .. } => MessageKind::Ping,
+            Message::Pong { .. } => MessageKind::Pong,
         }
     }
 }
 
-/// Message categories of Table II.
+/// Message categories: Table II plus the lease-probe pair of the
+/// liveness extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MessageKind {
     /// New-packet-info broadcasts.
@@ -91,11 +105,15 @@ pub enum MessageKind {
     NAdmin,
     /// Broadcast admin announcements.
     BAdmin,
+    /// Lease probes from frozen clients.
+    Ping,
+    /// Lease renewals from providers.
+    Pong,
 }
 
 impl MessageKind {
-    /// All categories, in Table II order.
-    pub const ALL: [MessageKind; 7] = [
+    /// All categories — Table II order first, then the lease pair.
+    pub const ALL: [MessageKind; 9] = [
         MessageKind::Npi,
         MessageKind::Cc,
         MessageKind::Tight,
@@ -103,6 +121,8 @@ impl MessageKind {
         MessageKind::Freeze,
         MessageKind::NAdmin,
         MessageKind::BAdmin,
+        MessageKind::Ping,
+        MessageKind::Pong,
     ];
 
     /// Position of this kind in [`MessageKind::ALL`] (and in
@@ -122,6 +142,8 @@ impl MessageKind {
             MessageKind::Freeze => "FREEZE",
             MessageKind::NAdmin => "NADMIN",
             MessageKind::BAdmin => "BADMIN",
+            MessageKind::Ping => "PING",
+            MessageKind::Pong => "PONG",
         }
     }
 }
@@ -221,11 +243,17 @@ mod tests {
             Message::BAdmin {
                 admin: NodeId::new(2),
             },
+            Message::Ping {
+                from: NodeId::new(1),
+            },
+            Message::Pong {
+                provider: NodeId::new(2),
+            },
         ];
         let kinds: Vec<MessageKind> = samples.iter().map(Message::kind).collect();
         // CC request and reply share a bucket; everything else distinct.
         assert_eq!(kinds[1], kinds[2]);
-        assert_eq!(kinds.len(), 8);
+        assert_eq!(kinds.len(), 10);
     }
 
     #[test]
@@ -261,7 +289,7 @@ mod tests {
         let labels: Vec<&str> = MessageKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(
             labels,
-            ["NPI", "CC", "TIGHT", "SPAN", "FREEZE", "NADMIN", "BADMIN"]
+            ["NPI", "CC", "TIGHT", "SPAN", "FREEZE", "NADMIN", "BADMIN", "PING", "PONG"]
         );
     }
 
@@ -276,6 +304,6 @@ mod tests {
         stats.dropped = 1000;
         let by_kind: u64 = stats.per_kind().map(|(_, n)| n).sum();
         assert_eq!(stats.total(), by_kind);
-        assert_eq!(stats.total(), (1..=7).sum::<u64>());
+        assert_eq!(stats.total(), (1..=9).sum::<u64>());
     }
 }

@@ -60,6 +60,16 @@ pub struct RunReport {
     pub ticks_per_chunk: Vec<Tick>,
     /// Clients that fell back to the producer, per chunk.
     pub fallbacks_per_chunk: Vec<usize>,
+    /// TIGHT/SPAN retransmissions across all rounds.
+    pub retries: u64,
+    /// Lease-expiry depositions across all rounds.
+    pub depositions: u64,
+    /// [`crate::ProtocolError`] occurrences the run survived without
+    /// aborting (currently engine payload misses), across all rounds.
+    pub protocol_errors: u64,
+    /// Kind of the first such error (see [`crate::ProtocolError::kind`]),
+    /// when any occurred.
+    pub first_error: Option<String>,
 }
 
 /// The distributed planner ("Dist" in the figures).
@@ -132,6 +142,15 @@ impl CachePlanner for DistributedPlanner {
             report.per_chunk.push(round_stats);
             report.ticks_per_chunk.push(outcome.ticks);
             report.fallbacks_per_chunk.push(outcome.producer_fallbacks);
+            report.retries += outcome.retries;
+            report.depositions += outcome.depositions;
+            if outcome.protocol_errors > 0 {
+                report.protocol_errors += outcome.protocol_errors;
+                if report.first_error.is_none() {
+                    // The engine's only survivable bookkeeping fault.
+                    report.first_error = Some("MissingPayload".to_string());
+                }
+            }
             emit_round_record(round_span, &round_stats, &outcome);
             // Report costs with the shared global model so Dist is
             // comparable with Appx/Brtf/Hopc/Cont.

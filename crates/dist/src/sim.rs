@@ -12,11 +12,36 @@
 //!
 //! Clients that run out of candidates fall back to fetching from the
 //! producer, which guarantees termination even under message loss.
+//!
+//! # Liveness extensions
+//!
+//! [`LivenessConfig`] adds three opt-in mechanisms (all off by default,
+//! so legacy runs replay byte-identically):
+//!
+//! * **Retry with backoff** — TIGHT/SPAN are retransmitted up to
+//!   `retry_limit` times with deterministic exponential backoff plus
+//!   keyed jitter, so a single lost bid no longer stalls an election.
+//!   Receivers deduplicate requesters by identity, so retries (and
+//!   chaos-duplicated copies) never double-count `β` contributions.
+//! * **FREEZE leases** — a frozen client periodically PINGs its
+//!   provider; a provider that still serves answers PONG, renewing the
+//!   lease. When the lease expires (the provider died silently or a
+//!   partition cut it off) the client *deposes* it: thaws back to
+//!   bidding and re-elects in its own component.
+//! * **Election timeout** — a client that stays unsettled past the
+//!   timeout settles explicitly: producer fallback when the producer is
+//!   reachable, [`RoundOutcome::degraded`] when a partition window cuts
+//!   it off (explicit degradation instead of a burned tick budget).
+//!
+//! Fault injection beyond loss/jitter — partitions, flapping links,
+//! grey nodes, duplication, reordering, corruption — comes from the
+//! seeded [`FaultPlan`] in [`SimConfig::chaos`] (see [`crate::chaos`]).
 
 use peercache_core::{ChunkId, Network};
 use peercache_graph::paths::bfs_hops;
 use peercache_graph::NodeId;
 
+use crate::chaos::{ChaosState, FaultPlan, FaultStats, SendFate};
 use crate::engine::{Engine, JitterConfig, LossConfig, Tick};
 use peercache_obs as obs;
 
@@ -49,8 +74,14 @@ pub struct SimConfig {
     /// vanish, and any client frozen on it as provider reverts to
     /// bidding — re-electing an ADMIN or falling back to the producer.
     /// Entries naming the producer are ignored (the producer is the
-    /// round's anchor and cannot die).
+    /// round's anchor and cannot die). Merged with [`FaultPlan::deaths`]
+    /// into one tick-indexed schedule.
     pub deaths: Vec<(Tick, NodeId)>,
+    /// Seeded chaos plan: partitions, flapping links, grey nodes,
+    /// duplication, reordering, corruption, extra deaths.
+    pub chaos: FaultPlan,
+    /// Retry / lease / election-timeout parameters.
+    pub liveness: LivenessConfig,
 }
 
 impl Default for SimConfig {
@@ -65,12 +96,49 @@ impl Default for SimConfig {
             loss: LossConfig::default(),
             jitter: JitterConfig::default(),
             deaths: Vec::new(),
+            chaos: FaultPlan::default(),
+            liveness: LivenessConfig::default(),
+        }
+    }
+}
+
+/// Retry, lease, and election-timeout parameters. The defaults disable
+/// every mechanism, preserving the legacy protocol exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// Maximum transmissions of each TIGHT/SPAN per `(client,
+    /// candidate)` pair; 1 means no retries (legacy behavior).
+    pub retry_limit: u32,
+    /// Backoff before the first retry, doubling per attempt.
+    pub backoff_base: Tick,
+    /// Maximum deterministic jitter added to each backoff (keyed on
+    /// `(node, candidate, attempt)` — no RNG state, so replays and the
+    /// chaos RNG stream are unaffected).
+    pub backoff_jitter: Tick,
+    /// FREEZE lease duration; 0 disables leases. Frozen clients ping
+    /// their provider every `lease_ticks / 3` ticks and depose it when
+    /// no PONG renews the lease in time.
+    pub lease_ticks: Tick,
+    /// A client unsettled for this many ticks settles explicitly —
+    /// producer fallback when reachable, degraded when partitioned off.
+    /// 0 disables the timeout.
+    pub election_timeout: Tick,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            retry_limit: 1,
+            backoff_base: 8,
+            backoff_jitter: 3,
+            lease_ticks: 0,
+            election_timeout: 0,
         }
     }
 }
 
 /// Result of one chunk's protocol round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundOutcome {
     /// Nodes that declared themselves ADMIN (will cache the chunk).
     pub admins: Vec<NodeId>,
@@ -86,6 +154,27 @@ pub struct RoundOutcome {
     /// Clients that resumed bidding because the provider they were
     /// frozen on died — each is one ADMIN re-election attempt.
     pub re_elections: usize,
+    /// TIGHT/SPAN retransmissions sent by the retry mechanism.
+    pub retries: u64,
+    /// Clients settled by the election timeout.
+    pub timeouts: u64,
+    /// Providers deposed by lease expiry (client thawed back to
+    /// bidding because no PONG arrived in time).
+    pub depositions: u64,
+    /// Tick of the first deposition, if any.
+    pub first_deposition: Option<Tick>,
+    /// Clients that ended the round cut off from the producer by a
+    /// partition — explicit degradation, not silent non-convergence.
+    pub degraded: Vec<NodeId>,
+    /// Every ADMIN election as `(tick, node)`, in election order.
+    pub elections: Vec<(Tick, NodeId)>,
+    /// Per-cause chaos fault counters (partition/flap/grey drops,
+    /// corruption, duplication, reordering). Disjoint from
+    /// [`MessageStats::dropped`], which counts plain loss.
+    pub faults: FaultStats,
+    /// Engine bookkeeping faults survived without aborting (would-be
+    /// [`crate::ProtocolError::MissingPayload`] occurrences).
+    pub protocol_errors: u64,
 }
 
 /// How often (in ticks) the producer re-broadcasts NPI to nodes that
@@ -102,14 +191,23 @@ enum Phase {
     Frozen,
     /// Volunteered to cache the chunk.
     Admin,
+    /// Cut off from the producer by a partition and timed out —
+    /// settled, but explicitly unserved this round.
+    Degraded,
 }
 
 #[derive(Debug, Clone)]
 struct NodeState {
     phase: Phase,
     alpha: f64,
-    tight_sent: Vec<bool>,
-    span_sent: Vec<bool>,
+    /// TIGHT transmissions per candidate (0 = not sent yet).
+    tight_attempts: Vec<u32>,
+    /// Earliest tick for the next TIGHT retry, per candidate.
+    tight_next: Vec<Tick>,
+    /// SPAN transmissions per candidate (0 = not sent yet).
+    span_attempts: Vec<u32>,
+    /// Earliest tick for the next SPAN retry, per candidate.
+    span_next: Vec<Tick>,
     gamma: Vec<f64>,
     beta: Vec<f64>,
     /// TIGHT/SPAN requesters and the tick their first request arrived.
@@ -121,6 +219,14 @@ struct NodeState {
     /// `None` while unsettled, and for self-sufficient phases (ADMIN,
     /// producer fallback). When the provider dies the node thaws.
     provider: Option<NodeId>,
+    /// Tick this node (re-)entered the bidding pool, for the election
+    /// timeout.
+    activated_at: Tick,
+    /// Lease expiry tick (meaningful only while frozen on a provider
+    /// with leases enabled).
+    lease_until: Tick,
+    /// Last tick a lease PING was sent.
+    last_ping: Tick,
 }
 
 impl NodeState {
@@ -128,19 +234,100 @@ impl NodeState {
         NodeState {
             phase: Phase::Idle,
             alpha: 0.0,
-            tight_sent: vec![false; member_count],
-            span_sent: vec![false; member_count],
+            tight_attempts: vec![0; member_count],
+            tight_next: vec![0; member_count],
+            span_attempts: vec![0; member_count],
+            span_next: vec![0; member_count],
             gamma: vec![0.0; member_count],
             beta: vec![0.0; member_count],
             requesters: Vec::new(),
             span_from: Vec::new(),
             provider: None,
+            activated_at: 0,
+            lease_until: 0,
+            last_ping: 0,
         }
     }
 
     fn settled(&self) -> bool {
-        matches!(self.phase, Phase::Frozen | Phase::Admin)
+        matches!(self.phase, Phase::Frozen | Phase::Admin | Phase::Degraded)
     }
+
+    /// Freezes this node on `provider`, starting a lease when enabled.
+    fn freeze_on(&mut self, provider: NodeId, now: Tick, lease_ticks: Tick) {
+        self.phase = Phase::Frozen;
+        self.provider = Some(provider);
+        if lease_ticks > 0 {
+            self.lease_until = now + lease_ticks;
+            self.last_ping = now;
+        }
+    }
+}
+
+/// The engine plus the chaos layer: every protocol send goes through
+/// here so fault injection sees `(now, from, to)` for every message.
+#[derive(Debug)]
+struct Wire {
+    engine: Engine,
+    chaos: ChaosState,
+}
+
+impl Wire {
+    fn send(&mut self, now: Tick, from: NodeId, to: NodeId, hops: u32, msg: Message) {
+        match self.chaos.on_send(now, from, to, hops) {
+            SendFate::Dropped(_) => {}
+            SendFate::Deliver {
+                extra_delay,
+                copies,
+            } => {
+                for _ in 0..copies {
+                    self.engine.send(to, hops.saturating_add(extra_delay), msg);
+                }
+            }
+        }
+    }
+}
+
+/// Mutable per-round counters threaded through the handlers.
+#[derive(Debug, Default)]
+struct Tally {
+    fallbacks: usize,
+    deaths_applied: usize,
+    re_elections: usize,
+    retries: u64,
+    timeouts: u64,
+    depositions: u64,
+    first_deposition: Option<Tick>,
+    elections: Vec<(Tick, NodeId)>,
+}
+
+/// SplitMix64 — a pure hash used for deterministic retry jitter; keyed
+/// entirely by protocol state, so it introduces no ambient randomness.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Exponential backoff with keyed jitter: `base << (attempt-1)` plus a
+/// deterministic `0..=backoff_jitter` offset so synchronized retries
+/// de-synchronize without drawing from the chaos RNG.
+fn retry_delay(liv: &LivenessConfig, node: NodeId, member: usize, attempt: u32, salt: u64) -> Tick {
+    let exp = liv
+        .backoff_base
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16));
+    if liv.backoff_jitter == 0 {
+        return exp.max(1);
+    }
+    let key = splitmix64(
+        (node.index() as u64)
+            .wrapping_mul(0x1_0000_0001)
+            .wrapping_add(member as u64)
+            .wrapping_add(u64::from(attempt) << 32)
+            .wrapping_add(salt),
+    );
+    exp.max(1) + key % (liv.backoff_jitter + 1)
 }
 
 /// Runs the protocol for one chunk and returns the elected ADMIN set.
@@ -159,33 +346,36 @@ pub fn run_chunk_round(
 ) -> RoundOutcome {
     let producer = net.producer();
     let producer_hops = bfs_hops(net.graph(), producer);
-    let mut engine = Engine::with_faults(cfg.loss, cfg.jitter);
+    let mut wire = Wire {
+        engine: Engine::with_faults(cfg.loss, cfg.jitter),
+        chaos: ChaosState::compile(&cfg.chaos, &cfg.deaths),
+    };
     let mut states: Vec<NodeState> = views
         .iter()
         .map(|v| NodeState::new(v.members().len()))
         .collect();
     states[producer.index()].phase = Phase::Admin; // always serving
-    let mut fallbacks = 0usize;
     let mut dead = vec![false; views.len()];
-    let mut deaths_applied = 0usize;
-    let mut re_elections = 0usize;
+    let mut tally = Tally::default();
 
     // NPI broadcast: one message per client, delivered at hop distance.
     for j in net.clients() {
         let hops = producer_hops[j.index()].unwrap_or(1);
-        engine.send(j, hops, Message::Npi { chunk });
+        wire.send(0, producer, j, hops, Message::Npi { chunk });
     }
 
     let mut tick: Tick = 0;
     while tick < cfg.max_ticks {
         tick += 1;
 
-        // Churn: apply every death scheduled at (or before) this tick.
-        // Scheduled in id order within a tick for determinism.
-        for &(t, node) in &cfg.deaths {
-            if t <= tick && node != producer && node.index() < dead.len() && !dead[node.index()] {
-                apply_death(net, &mut states, &mut dead, node, &mut re_elections);
-                deaths_applied += 1;
+        // Churn: apply every death due at this tick. The schedule is
+        // pre-sorted by (tick, node) and consumed through a cursor, so
+        // this is O(deaths due now), not O(all deaths) per tick.
+        let due: Vec<(Tick, NodeId)> = wire.chaos.deaths_due(tick).to_vec();
+        for (_, node) in due {
+            if node != producer && node.index() < dead.len() && !dead[node.index()] {
+                apply_death(net, &mut states, &mut dead, node, tick, &mut tally);
+                tally.deaths_applied += 1;
             }
         }
 
@@ -195,7 +385,7 @@ pub fn run_chunk_round(
             for j in net.clients() {
                 if states[j.index()].phase == Phase::Idle && !dead[j.index()] {
                     let hops = producer_hops[j.index()].unwrap_or(1);
-                    engine.send(j, hops, Message::Npi { chunk });
+                    wire.send(tick, producer, j, hops, Message::Npi { chunk });
                 }
             }
         }
@@ -204,10 +394,10 @@ pub fn run_chunk_round(
         // dead node vanish into the void (in-flight messages *from* a
         // node that has since died still arrive — radio waves do not
         // recall themselves).
-        while engine.next_time().is_some_and(|t| t <= tick) {
+        while wire.engine.next_time().is_some_and(|t| t <= tick) {
             // `next_time` just peeked a queue entry, so a delivery exists;
             // breaking on a phantom entry keeps the path panic-free (P1).
-            let Some(d) = engine.next_delivery() else {
+            let Some(d) = wire.engine.next_delivery() else {
                 break;
             };
             if dead[d.to.index()] {
@@ -218,12 +408,42 @@ pub fn run_chunk_round(
                 views,
                 cfg,
                 &mut states,
-                &mut engine,
+                &mut wire,
                 &dead,
+                &mut tally,
                 d.to,
                 d.msg,
                 tick,
             );
+        }
+
+        // Lease maintenance: frozen clients ping their provider; an
+        // expired lease deposes it (the provider died silently or a
+        // partition cut it off) and the client re-enters the election.
+        if cfg.liveness.lease_ticks > 0 {
+            let ping_every = (cfg.liveness.lease_ticks / 3).max(1);
+            for j in net.clients() {
+                if dead[j.index()] || states[j.index()].phase != Phase::Frozen {
+                    continue;
+                }
+                let Some(p) = states[j.index()].provider else {
+                    continue; // producer-served: the anchor needs no lease
+                };
+                if tick >= states[j.index()].lease_until {
+                    let st = &mut states[j.index()];
+                    st.phase = Phase::Active;
+                    st.provider = None;
+                    st.activated_at = tick;
+                    tally.depositions += 1;
+                    tally.first_deposition.get_or_insert(tick);
+                    if obs::enabled() {
+                        obs::counter("dist.deposition").incr();
+                    }
+                } else if tick.saturating_sub(states[j.index()].last_ping) >= ping_every {
+                    states[j.index()].last_ping = tick;
+                    wire.send(tick, j, p, 1, Message::Ping { from: j });
+                }
+            }
         }
 
         // Per-tick bidding for active clients, in id order.
@@ -232,39 +452,126 @@ pub fn run_chunk_round(
                 continue;
             }
             let view = &views[j.index()];
-            let st = &mut states[j.index()];
-            st.alpha += cfg.u_alpha;
+            states[j.index()].alpha += cfg.u_alpha;
             for idx in 0..view.members().len() {
                 let cost = view.cost(idx);
                 if !cost.is_finite() {
                     continue;
                 }
-                if !st.tight_sent[idx] && st.alpha >= cost {
-                    st.tight_sent[idx] = true;
-                    engine.send(
-                        view.members()[idx],
-                        view.hops(idx),
-                        Message::Tight { from: j },
-                    );
-                }
-                if st.tight_sent[idx] {
-                    st.beta[idx] += cfg.u_beta;
-                    st.gamma[idx] += cfg.u_gamma;
-                    if !st.span_sent[idx] && st.gamma[idx] >= cost {
-                        st.span_sent[idx] = true;
-                        engine.send(
+                let st = &mut states[j.index()];
+                if st.alpha >= cost {
+                    if st.tight_attempts[idx] == 0 {
+                        st.tight_attempts[idx] = 1;
+                        st.tight_next[idx] = tick + retry_delay(&cfg.liveness, j, idx, 1, 0x71);
+                        wire.send(
+                            tick,
+                            j,
                             view.members()[idx],
                             view.hops(idx),
-                            Message::Span { from: j },
+                            Message::Tight { from: j },
+                        );
+                    } else if st.tight_attempts[idx] < cfg.liveness.retry_limit
+                        && tick >= st.tight_next[idx]
+                    {
+                        st.tight_attempts[idx] += 1;
+                        let attempt = st.tight_attempts[idx];
+                        st.tight_next[idx] =
+                            tick + retry_delay(&cfg.liveness, j, idx, attempt, 0x71);
+                        tally.retries += 1;
+                        if obs::enabled() {
+                            obs::counter("dist.retry").incr();
+                        }
+                        wire.send(
+                            tick,
+                            j,
+                            view.members()[idx],
+                            view.hops(idx),
+                            Message::Tight { from: j },
                         );
                     }
                 }
+                let st = &mut states[j.index()];
+                if st.tight_attempts[idx] > 0 {
+                    st.beta[idx] += cfg.u_beta;
+                    st.gamma[idx] += cfg.u_gamma;
+                    if st.gamma[idx] >= cost {
+                        if st.span_attempts[idx] == 0 {
+                            st.span_attempts[idx] = 1;
+                            st.span_next[idx] = tick + retry_delay(&cfg.liveness, j, idx, 1, 0x53);
+                            wire.send(
+                                tick,
+                                j,
+                                view.members()[idx],
+                                view.hops(idx),
+                                Message::Span { from: j },
+                            );
+                        } else if st.span_attempts[idx] < cfg.liveness.retry_limit
+                            && tick >= st.span_next[idx]
+                        {
+                            st.span_attempts[idx] += 1;
+                            let attempt = st.span_attempts[idx];
+                            st.span_next[idx] =
+                                tick + retry_delay(&cfg.liveness, j, idx, attempt, 0x53);
+                            tally.retries += 1;
+                            if obs::enabled() {
+                                obs::counter("dist.retry").incr();
+                            }
+                            wire.send(
+                                tick,
+                                j,
+                                view.members()[idx],
+                                view.hops(idx),
+                                Message::Span { from: j },
+                            );
+                        }
+                    }
+                }
             }
-            // Fallback: no peer left worth waiting for.
-            if st.alpha > cfg.give_up_factor * view.max_cost() + 1.0 {
-                st.phase = Phase::Frozen;
-                st.provider = None; // served by the producer directly
-                fallbacks += 1;
+            // Fallback: no peer left worth waiting for. Under an active
+            // partition the producer may be unreachable — settle as
+            // explicitly degraded instead of pretending it can serve.
+            if states[j.index()].alpha > cfg.give_up_factor * view.max_cost() + 1.0 {
+                let reach = wire.chaos.reachable(tick, j, producer);
+                let st = &mut states[j.index()];
+                if reach {
+                    st.phase = Phase::Frozen;
+                    st.provider = None; // served by the producer directly
+                    tally.fallbacks += 1;
+                } else {
+                    st.phase = Phase::Degraded;
+                }
+            }
+        }
+
+        // Election timeout: clients unsettled for too long settle
+        // explicitly rather than spinning to the tick budget.
+        if cfg.liveness.election_timeout > 0 {
+            for j in net.clients() {
+                if dead[j.index()] {
+                    continue;
+                }
+                let ph = states[j.index()].phase;
+                if ph != Phase::Active && ph != Phase::Idle {
+                    continue;
+                }
+                if tick.saturating_sub(states[j.index()].activated_at)
+                    < cfg.liveness.election_timeout
+                {
+                    continue;
+                }
+                tally.timeouts += 1;
+                if obs::enabled() {
+                    obs::counter("dist.election_timeout").incr();
+                }
+                let reach = wire.chaos.reachable(tick, j, producer);
+                let st = &mut states[j.index()];
+                if reach {
+                    st.phase = Phase::Frozen;
+                    st.provider = None;
+                    tally.fallbacks += 1;
+                } else {
+                    st.phase = Phase::Degraded;
+                }
             }
         }
 
@@ -272,55 +579,129 @@ pub fn run_chunk_round(
         // with message arrivals).
         for i in net.clients() {
             if !dead[i.index()] {
-                try_promote(net, cfg, &mut states, &mut engine, i, tick);
+                try_promote(net, cfg, &mut states, &mut wire, &mut tally, i, tick);
             }
         }
 
-        if net
-            .clients()
-            .all(|j| dead[j.index()] || states[j.index()].settled())
-        {
+        // With leases on, a frozen client whose provider is currently
+        // cut off by a partition is not really served — keep the round
+        // alive so its lease can expire and depose the provider.
+        let lease_on = cfg.liveness.lease_ticks > 0;
+        if net.clients().all(|j| {
+            if dead[j.index()] || !states[j.index()].settled() {
+                return dead[j.index()];
+            }
+            if !lease_on {
+                return true;
+            }
+            match states[j.index()].provider {
+                Some(p) => wire.chaos.reachable(tick, j, p),
+                None => true,
+            }
+        }) {
             break;
         }
     }
 
-    // Anything still unsettled at the budget is served by the producer.
+    // Anything still unsettled at the budget is served by the producer
+    // when reachable, or reported as degraded when partitioned off.
     for j in net.clients() {
         if !dead[j.index()] && !states[j.index()].settled() {
-            states[j.index()].phase = Phase::Frozen;
-            states[j.index()].provider = None;
-            fallbacks += 1;
+            if wire.chaos.reachable(tick, j, producer) {
+                states[j.index()].phase = Phase::Frozen;
+                states[j.index()].provider = None;
+                tally.fallbacks += 1;
+            } else {
+                states[j.index()].phase = Phase::Degraded;
+            }
         }
     }
+
+    #[cfg(feature = "strict-invariants")]
+    strict_round_audit(net, &states, &dead, &wire.chaos);
 
     let admins: Vec<NodeId> = net
         .clients()
         .filter(|&i| states[i.index()].phase == Phase::Admin && !dead[i.index()])
         .collect();
-    let stats = *engine.stats();
+    let degraded: Vec<NodeId> = net
+        .clients()
+        .filter(|&i| states[i.index()].phase == Phase::Degraded && !dead[i.index()])
+        .collect();
+    let stats = *wire.engine.stats();
+    let faults = wire.chaos.stats;
+    let protocol_errors = wire.engine.payload_misses();
     if obs::enabled() {
         let mut fields = vec![
             ("chunk", obs::Value::from(chunk.index())),
             ("converged_tick", obs::Value::from(tick)),
             ("converged", obs::Value::from(tick < cfg.max_ticks)),
             ("admins", obs::Value::from(admins.len())),
-            ("producer_fallbacks", obs::Value::from(fallbacks)),
+            ("producer_fallbacks", obs::Value::from(tally.fallbacks)),
             ("dropped", obs::Value::from(stats.dropped)),
-            ("deaths", obs::Value::from(deaths_applied)),
-            ("re_elections", obs::Value::from(re_elections)),
+            ("deaths", obs::Value::from(tally.deaths_applied)),
+            ("re_elections", obs::Value::from(tally.re_elections)),
+            ("retries", obs::Value::from(tally.retries)),
+            ("timeouts", obs::Value::from(tally.timeouts)),
+            ("depositions", obs::Value::from(tally.depositions)),
+            ("degraded", obs::Value::from(degraded.len())),
+            ("chaos_faults", obs::Value::from(faults.total())),
         ];
         for (kind, n) in stats.per_kind() {
             fields.push((kind.label(), obs::Value::from(n)));
         }
         obs::event("dist.sim.converged", &fields);
+        obs::gauge("dist.degraded_clients").set(degraded.len() as i64);
     }
     RoundOutcome {
         admins,
         stats,
         ticks: tick,
-        producer_fallbacks: fallbacks,
-        deaths: deaths_applied,
-        re_elections,
+        producer_fallbacks: tally.fallbacks,
+        deaths: tally.deaths_applied,
+        re_elections: tally.re_elections,
+        retries: tally.retries,
+        timeouts: tally.timeouts,
+        depositions: tally.depositions,
+        first_deposition: tally.first_deposition,
+        degraded,
+        elections: tally.elections,
+        faults,
+        protocol_errors,
+    }
+}
+
+/// Post-round oracle (strict-invariants builds only): every client must
+/// have settled one way or another, no corpse may appear as a provider,
+/// and degradation is only legal when the plan actually contains
+/// partition windows.
+// Node-count-sized arrays indexed by in-range NodeIds, as in the round
+// body.
+#[cfg(feature = "strict-invariants")]
+#[allow(clippy::indexing_slicing)]
+fn strict_round_audit(net: &Network, states: &[NodeState], dead: &[bool], chaos: &ChaosState) {
+    for j in net.clients() {
+        if dead[j.index()] {
+            continue;
+        }
+        let st = &states[j.index()];
+        assert!(
+            st.settled(),
+            "strict: client {j} left the round unsettled (phase {:?})",
+            st.phase
+        );
+        if let Some(p) = st.provider {
+            assert!(
+                !dead[p.index()],
+                "strict: client {j} is frozen on dead provider {p}"
+            );
+        }
+        if st.phase == Phase::Degraded {
+            assert!(
+                chaos.has_partitions(),
+                "strict: client {j} degraded without any partition window in the plan"
+            );
+        }
     }
 }
 
@@ -336,7 +717,8 @@ fn apply_death(
     states: &mut [NodeState],
     dead: &mut [bool],
     node: NodeId,
-    re_elections: &mut usize,
+    now: Tick,
+    tally: &mut Tally,
 ) {
     dead[node.index()] = true;
     for j in net.clients() {
@@ -349,7 +731,8 @@ fn apply_death(
         if st.phase == Phase::Frozen && st.provider == Some(node) {
             st.phase = Phase::Active;
             st.provider = None;
-            *re_elections += 1;
+            st.activated_at = now;
+            tally.re_elections += 1;
         }
     }
 }
@@ -362,16 +745,19 @@ fn handle_message(
     views: &[LocalView],
     cfg: &SimConfig,
     states: &mut [NodeState],
-    engine: &mut Engine,
+    wire: &mut Wire,
     dead: &[bool],
+    tally: &mut Tally,
     to: NodeId,
     msg: Message,
     now: Tick,
 ) {
+    let lease = cfg.liveness.lease_ticks;
     match msg {
         Message::Npi { .. } => {
             if states[to.index()].phase == Phase::Idle {
                 states[to.index()].phase = Phase::Active;
+                states[to.index()].activated_at = now;
             }
         }
         Message::Tight { from } | Message::Span { from } => {
@@ -387,27 +773,28 @@ fn handle_message(
             match phase {
                 Phase::Admin => {
                     // Producer or an elected admin: serve immediately.
-                    engine.send(from, 1, Message::Freeze { provider: to });
+                    wire.send(now, to, from, 1, Message::Freeze { provider: to });
                 }
                 Phase::Frozen if net.remaining(to) == 0 => {
                     // INACTIVE branch (Table I): a node that cannot cache
                     // anything points the requester at itself as a relay
                     // toward its own provider.
-                    engine.send(from, 1, Message::Freeze { provider: to });
+                    wire.send(now, to, from, 1, Message::Freeze { provider: to });
                 }
-                Phase::Frozen => {
+                Phase::Frozen | Phase::Degraded => {
                     // A served node with spare storage stays quiet: its
                     // requesters keep bidding until an admin emerges or
                     // they fall back to the producer. Answering with a
                     // relay here would freeze the whole network before
-                    // any election could gather SPAN support.
+                    // any election could gather SPAN support. Degraded
+                    // nodes are out of the round entirely.
                 }
                 Phase::Active | Phase::Idle => {
                     if is_span {
                         if !states[to.index()].span_from.contains(&from) {
                             states[to.index()].span_from.push(from);
                         }
-                        try_promote(net, cfg, states, engine, to, now);
+                        try_promote(net, cfg, states, wire, tally, to, now);
                     }
                 }
             }
@@ -421,8 +808,7 @@ fn handle_message(
             }
             if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
-                states[to.index()].phase = Phase::Frozen;
-                states[to.index()].provider = Some(provider);
+                states[to.index()].freeze_on(provider, now, lease);
             }
         }
         Message::NAdmin { admin } => {
@@ -431,8 +817,7 @@ fn handle_message(
             }
             if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
-                states[to.index()].phase = Phase::Frozen;
-                states[to.index()].provider = Some(admin);
+                states[to.index()].freeze_on(admin, now, lease);
                 // Our pending requesters can reach the chunk through us.
                 let requesters: Vec<NodeId> = states[to.index()]
                     .requesters
@@ -440,7 +825,7 @@ fn handle_message(
                     .map(|&(r, _)| r)
                     .collect();
                 for r in requesters {
-                    engine.send(r, 1, Message::Freeze { provider: admin });
+                    wire.send(now, to, r, 1, Message::Freeze { provider: admin });
                 }
             }
         }
@@ -454,18 +839,33 @@ fn handle_message(
             if states[to.index()].phase == Phase::Active {
                 if let Some(idx) = view.index_of(admin) {
                     if states[to.index()].beta[idx] > 0.0 {
-                        states[to.index()].phase = Phase::Frozen;
-                        states[to.index()].provider = Some(admin);
+                        states[to.index()].freeze_on(admin, now, lease);
                         let requesters: Vec<NodeId> = states[to.index()]
                             .requesters
                             .iter()
                             .map(|&(r, _)| r)
                             .collect();
                         for r in requesters {
-                            engine.send(r, 1, Message::Freeze { provider: admin });
+                            wire.send(now, to, r, 1, Message::Freeze { provider: admin });
                         }
                     }
                 }
+            }
+        }
+        Message::Ping { from } => {
+            // Only a node that still serves — an admin (the producer
+            // included) or a full relay — renews its clients' leases.
+            let phase = states[to.index()].phase;
+            let serving =
+                phase == Phase::Admin || (phase == Phase::Frozen && net.remaining(to) == 0);
+            if serving {
+                wire.send(now, to, from, 1, Message::Pong { provider: to });
+            }
+        }
+        Message::Pong { provider } => {
+            let st = &mut states[to.index()];
+            if lease > 0 && st.phase == Phase::Frozen && st.provider == Some(provider) {
+                st.lease_until = now + lease;
             }
         }
         Message::CollectContention { .. } | Message::ContentionReply { .. } => {
@@ -483,7 +883,8 @@ fn try_promote(
     net: &Network,
     cfg: &SimConfig,
     states: &mut [NodeState],
-    engine: &mut Engine,
+    wire: &mut Wire,
+    tally: &mut Tally,
     i: NodeId,
     now: Tick,
 ) {
@@ -508,17 +909,18 @@ fn try_promote(
         return;
     }
     states[i.index()].phase = Phase::Admin;
+    tally.elections.push((now, i));
     let requesters: Vec<NodeId> = states[i.index()]
         .requesters
         .iter()
         .map(|&(r, _)| r)
         .collect();
     for r in &requesters {
-        engine.send(*r, 1, Message::NAdmin { admin: i });
+        wire.send(now, i, *r, 1, Message::NAdmin { admin: i });
     }
     for j in net.clients() {
         if j != i && !requesters.contains(&j) {
-            engine.send(j, 1, Message::BAdmin { admin: i });
+            wire.send(now, i, j, 1, Message::BAdmin { admin: i });
         }
     }
 }
@@ -543,6 +945,27 @@ mod tests {
         assert!(!out.admins.is_empty(), "a 6x6 grid should elect caches");
         assert!(out.stats[MessageKind::Tight] > 0);
         assert!(out.stats[MessageKind::Span] > 0);
+    }
+
+    #[test]
+    fn default_config_keeps_every_liveness_mechanism_inert() {
+        // The liveness/chaos extensions must be strictly opt-in: a
+        // default round sends no lease traffic, retries nothing, and
+        // injects no chaos faults.
+        let out = round(5, 2, &SimConfig::default());
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.timeouts, 0);
+        assert_eq!(out.depositions, 0);
+        assert_eq!(out.first_deposition, None);
+        assert!(out.degraded.is_empty());
+        assert_eq!(out.faults, FaultStats::default());
+        assert_eq!(out.protocol_errors, 0);
+        assert_eq!(out.stats[MessageKind::Ping], 0);
+        assert_eq!(out.stats[MessageKind::Pong], 0);
+        // Elections are recorded and match the admin set.
+        let mut elected: Vec<NodeId> = out.elections.iter().map(|&(_, n)| n).collect();
+        elected.sort_unstable();
+        assert_eq!(elected, out.admins);
     }
 
     #[test]
@@ -595,9 +1018,7 @@ mod tests {
     fn rounds_are_deterministic() {
         let a = round(5, 2, &SimConfig::default());
         let b = round(5, 2, &SimConfig::default());
-        assert_eq!(a.admins, b.admins);
-        assert_eq!(a.stats, b.stats);
-        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -663,8 +1084,9 @@ mod tests {
     #[test]
     fn message_counts_stay_bounded_under_retransmission() {
         // TIGHT and SPAN are sent at most once per (client, candidate)
-        // pair regardless of loss, and NPI retransmission is bounded by
-        // one broadcast per client per retransmit interval.
+        // pair regardless of loss (retries are off by default), and NPI
+        // retransmission is bounded by one broadcast per client per
+        // retransmit interval.
         let cfg = SimConfig {
             loss: LossConfig {
                 drop_probability: 0.3,
@@ -685,6 +1107,167 @@ mod tests {
             "NPI deliveries {} exceed retransmission bound {npi_bound}",
             out.stats[MessageKind::Npi]
         );
+    }
+
+    #[test]
+    fn retries_recover_lost_bids_within_the_limit() {
+        let liveness = LivenessConfig {
+            retry_limit: 4,
+            backoff_base: 4,
+            backoff_jitter: 2,
+            ..LivenessConfig::default()
+        };
+        let cfg = SimConfig {
+            loss: LossConfig {
+                drop_probability: 0.4,
+                seed: 13,
+            },
+            liveness,
+            ..Default::default()
+        };
+        let net = paper_grid(5).unwrap();
+        let (views, _) = build_views(&net, 2).unwrap();
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+        assert!(out.ticks < cfg.max_ticks);
+        assert!(out.retries > 0, "40% loss must trigger retransmissions");
+        // The retry limit still bounds total TIGHT/SPAN traffic.
+        let pair_bound: u64 = views.iter().map(|v| v.members().len() as u64).sum();
+        let limit = u64::from(liveness.retry_limit);
+        assert!(out.stats[MessageKind::Tight] <= pair_bound * limit);
+        assert!(out.stats[MessageKind::Span] <= pair_bound * limit);
+    }
+
+    #[test]
+    fn leases_keep_quiet_on_healthy_rounds_but_ping_providers() {
+        // With leases on and nothing failing, pings flow and nobody is
+        // deposed.
+        let cfg = SimConfig {
+            liveness: LivenessConfig {
+                lease_ticks: 12,
+                ..LivenessConfig::default()
+            },
+            ..Default::default()
+        };
+        let out = round(6, 2, &cfg);
+        assert!(out.ticks < cfg.max_ticks);
+        assert_eq!(out.depositions, 0, "healthy providers keep their leases");
+        assert!(!out.admins.is_empty());
+    }
+
+    #[test]
+    fn partition_deposes_the_severed_admin_and_reelects() {
+        // Learn who gets elected first and when, undisturbed; then cut
+        // that admin off the tick its NADMIN freezes land (one hop
+        // after the election). The lease must depose it within the
+        // timeout and the surviving side must settle again (new
+        // election or producer fallback).
+        let net = paper_grid(6).unwrap();
+        let (views, _) = build_views(&net, 2).unwrap();
+        let baseline = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
+        let &(elected_at, victim) = baseline.elections.first().expect("baseline elects");
+        let window_from = elected_at + 1;
+        let lease = 24;
+        let cfg = SimConfig {
+            chaos: FaultPlan::new(17).partition(window_from, u64::MAX, vec![victim]),
+            liveness: LivenessConfig {
+                lease_ticks: lease,
+                election_timeout: 400,
+                ..LivenessConfig::default()
+            },
+            ..Default::default()
+        };
+        let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+        assert!(out.ticks < cfg.max_ticks, "partitioned round must settle");
+        assert!(
+            out.depositions >= 1,
+            "clients frozen on the severed admin must depose it"
+        );
+        let first = out.first_deposition.expect("a deposition happened");
+        assert!(
+            first <= window_from + 2 * lease,
+            "deposition at {first} exceeds lease bound {}",
+            window_from + 2 * lease
+        );
+        // The surviving component recovered: someone else got elected
+        // after the cut, or the thawed clients fell back to the
+        // producer.
+        let recovered = out
+            .elections
+            .iter()
+            .any(|&(t, n)| t > window_from && n != victim)
+            || out.producer_fallbacks > 0;
+        assert!(recovered, "surviving side must re-elect or fall back");
+        assert!(out.faults.partition_drops > 0);
+    }
+
+    #[test]
+    fn clients_cut_from_the_producer_degrade_explicitly() {
+        // Node 0 is islanded for the whole round; with an election
+        // timeout it must settle as degraded, not burn the tick budget.
+        let victim = NodeId::new(0);
+        let cfg = SimConfig {
+            chaos: FaultPlan::new(3).partition(0, u64::MAX, vec![victim]),
+            liveness: LivenessConfig {
+                election_timeout: 60,
+                ..LivenessConfig::default()
+            },
+            ..Default::default()
+        };
+        let out = round(4, 2, &cfg);
+        assert!(out.ticks < cfg.max_ticks);
+        assert!(out.degraded.contains(&victim));
+        assert!(!out.admins.contains(&victim));
+        assert!(out.timeouts >= 1);
+    }
+
+    #[test]
+    fn duplication_and_reordering_do_not_break_elections() {
+        // Receivers deduplicate requesters by identity, so duplicated
+        // and reordered copies must not change the outcome class.
+        let cfg = SimConfig {
+            chaos: FaultPlan::new(21).duplicate(0.3).reorder(0.2, 3),
+            ..Default::default()
+        };
+        let out = round(6, 2, &cfg);
+        assert!(out.ticks < cfg.max_ticks);
+        assert!(out.faults.duplicated > 0);
+        assert!(out.faults.delayed > 0);
+        assert!(!out.admins.is_empty() || out.producer_fallbacks > 0);
+    }
+
+    #[test]
+    fn chaos_rounds_replay_byte_identically() {
+        let cfg = SimConfig {
+            loss: LossConfig {
+                drop_probability: 0.1,
+                seed: 2,
+            },
+            jitter: JitterConfig {
+                max_extra_ticks: 2,
+                seed: 6,
+            },
+            chaos: FaultPlan::new(40)
+                .drop(0.05)
+                .duplicate(0.1)
+                .reorder(0.1, 2)
+                .corrupt(0.02)
+                .partition(30, 80, vec![NodeId::new(0), NodeId::new(1)])
+                .flap(NodeId::new(2), NodeId::new(3), 16, 5)
+                .grey(NodeId::new(7), 0.3)
+                .death(25, NodeId::new(11)),
+            liveness: LivenessConfig {
+                retry_limit: 3,
+                backoff_base: 4,
+                backoff_jitter: 2,
+                lease_ticks: 20,
+                election_timeout: 300,
+            },
+            ..Default::default()
+        };
+        let a = round(5, 2, &cfg);
+        let b = round(5, 2, &cfg);
+        assert_eq!(a, b, "full chaos round must replay byte-identically");
+        assert!(a.faults.total() > 0);
     }
 
     #[test]
@@ -768,10 +1351,6 @@ mod tests {
         };
         let a = round(5, 2, &cfg);
         let b = round(5, 2, &cfg);
-        assert_eq!(a.admins, b.admins);
-        assert_eq!(a.stats, b.stats);
-        assert_eq!(a.ticks, b.ticks);
-        assert_eq!(a.re_elections, b.re_elections);
-        assert_eq!(a.deaths, b.deaths);
+        assert_eq!(a, b);
     }
 }

@@ -106,6 +106,47 @@ pub fn is_connected_subset(g: &Graph, keep: &[NodeId]) -> bool {
     reached == distinct
 }
 
+/// Returns the connected components of the subgraph induced by `keep`,
+/// each as a sorted node list.
+///
+/// The from-scratch counterpart of `Network`'s incremental component
+/// tracking (and the oracle the `strict-invariants` feature checks it
+/// against). Components are ordered by their smallest node id, so output
+/// is deterministic. Duplicate ids in `keep` are tolerated; out-of-bounds
+/// ids are ignored.
+pub fn components_of_subset(g: &Graph, keep: &[NodeId]) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut in_set = vec![false; n];
+    for &node in keep {
+        if node.index() < n {
+            in_set[node.index()] = true;
+        }
+    }
+    let mut visited = vec![false; n];
+    let mut comps = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if !in_set[start] || visited[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        visited[start] = true;
+        stack.push(NodeId::new(start));
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for v in g.neighbors(u) {
+                if in_set[v.index()] && !visited[v.index()] {
+                    visited[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
 /// Returns the nodes of the largest connected component (ties broken by
 /// smallest node id).
 ///
@@ -174,6 +215,36 @@ mod tests {
         // Exclude the middle column; the two side columns separate.
         let sides: Vec<NodeId> = [0, 3, 6, 2, 5, 8].iter().map(|&i| NodeId::new(i)).collect();
         assert!(!is_connected_subset(&g, &sides));
+    }
+
+    #[test]
+    fn subset_components_split_along_exclusions() {
+        let g = builders::grid(3, 3);
+        // Exclude the middle column; the side columns form two components.
+        let sides: Vec<NodeId> = [0, 3, 6, 2, 5, 8].iter().map(|&i| NodeId::new(i)).collect();
+        let comps = components_of_subset(&g, &sides);
+        assert_eq!(comps.len(), 2);
+        let ids: Vec<Vec<usize>> = comps
+            .iter()
+            .map(|c| c.iter().map(|n| n.index()).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![0, 3, 6], vec![2, 5, 8]]);
+    }
+
+    #[test]
+    fn subset_components_tolerate_duplicates_and_out_of_bounds() {
+        let g = builders::path(3);
+        let keep = [
+            NodeId::new(0),
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(9),
+        ];
+        let comps = components_of_subset(&g, &keep);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId::new(0)]);
+        assert_eq!(comps[1], vec![NodeId::new(2)]);
+        assert!(components_of_subset(&g, &[]).is_empty());
     }
 
     #[test]

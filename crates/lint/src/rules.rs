@@ -51,9 +51,12 @@ const N1_EXEMPT_FILE: &str = "crates/core/src/costs.rs";
 
 fn is_p1_scope(rel_path: &str) -> bool {
     // Protocol and event paths that must be panic-free: the whole dist
-    // crate's sources plus the world event layer in core.
+    // crate's sources (now including the retry/timeout/chaos paths)
+    // plus the world event layer and the partition-tracking network
+    // model in core.
     (rel_path.starts_with("crates/dist/src/") && rel_path.ends_with(".rs"))
         || rel_path == "crates/core/src/world.rs"
+        || rel_path == "crates/core/src/model.rs"
 }
 
 /// Run all rules over one file's token stream.

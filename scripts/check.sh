@@ -30,10 +30,15 @@ run cargo test --workspace -q
 # dual-ascent re-verification, bitwise contention-matrix checks, and
 # Steiner connectivity after every world event (crates/core/src/strict.rs).
 run cargo test --workspace --features strict-invariants -q
+# The chaos acceptance trace (500+ injected faults, two partition
+# windows, lease-based ADMIN deposition, byte-identical replay) must
+# hold with the oracles armed.
+run cargo test --test chaos_trace --features strict-invariants -q
 if [[ $fast -eq 0 ]]; then
     # Release-mode smoke runs of the hot-path benches: quick variants,
     # do not overwrite the committed BENCH_*.json files.
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench planning_hot_path
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench churn_trace
+    run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench chaos_matrix
 fi
 echo "==> all checks passed"

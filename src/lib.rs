@@ -42,7 +42,7 @@
 
 pub use peercache_core::{
     approx, baselines, costs, exact, instance, metrics, online, placement, planner, report,
-    workload, world, ChunkId, CoreError, Network,
+    workload, world, ChunkId, CoreError, Network, PartitionPolicy,
 };
 pub use peercache_dist as dist;
 pub use peercache_graph as graph;
@@ -67,8 +67,10 @@ pub mod prelude {
     pub use crate::placement::Placement;
     pub use crate::planner::CachePlanner;
     pub use crate::workload::{paper_grid, paper_random, ScenarioBuilder, Topology};
-    pub use crate::world::{CacheWorld, EventOutcome, WorldEvent};
-    pub use crate::{ChunkId, CoreError, Network};
-    pub use peercache_dist::{DistributedConfig, DistributedPlanner};
+    pub use crate::world::{CacheWorld, EventOutcome, PartitionEvent, WorldEvent};
+    pub use crate::{ChunkId, CoreError, Network, PartitionPolicy};
+    pub use peercache_dist::{
+        DistributedConfig, DistributedPlanner, FaultPlan, FaultStats, LivenessConfig,
+    };
     pub use peercache_graph::{builders, NodeId};
 }
