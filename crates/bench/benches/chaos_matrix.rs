@@ -5,132 +5,25 @@
 //! One protocol round runs per `(topology, intensity)` cell with the
 //! liveness mechanisms armed (retry/backoff, FREEZE leases, election
 //! timeouts). Intensity scales message loss, duplication, reordering,
-//! and the length of a partition window islanding one node. Besides the
-//! criterion display, the bench writes `BENCH_chaos.json` at the
-//! repository root with per-cell convergence ticks, retries,
-//! depositions, and fault counts. Set `PEERCACHE_BENCH_QUICK=1` for a
-//! fast smoke variant that skips the JSON.
+//! and the length of a partition window islanding one node. The cell
+//! logic lives in [`peercache_bench::chaos_cells`], shared with the
+//! `repro perf` regression gate so the committed baseline and the gate
+//! can never measure different things. Besides the criterion display,
+//! the bench writes `BENCH_chaos.json` at the repository root with
+//! per-cell convergence ticks, retries, depositions, and fault counts.
+//! Set `PEERCACHE_BENCH_QUICK=1` for a fast smoke variant that skips
+//! the JSON.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use peercache_bench::chaos_cells::{config_at, render_json, run_cell, INTENSITIES, K_HOPS};
 use peercache_core::workload::{paper_grid, paper_random};
-use peercache_core::{ChunkId, Network};
-use peercache_dist::engine::LossConfig;
-use peercache_dist::sim::{run_chunk_round, SimConfig};
+use peercache_core::ChunkId;
+use peercache_dist::sim::run_chunk_round;
 use peercache_dist::view::build_views;
-use peercache_dist::{FaultPlan, LivenessConfig};
-use peercache_graph::NodeId;
-
-const K_HOPS: u32 = 2;
-const INTENSITIES: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
 
 fn quick_mode() -> bool {
     std::env::var("PEERCACHE_BENCH_QUICK").is_ok_and(|v| v == "1")
-}
-
-/// The liveness parameters armed for every cell.
-fn liveness() -> LivenessConfig {
-    LivenessConfig {
-        retry_limit: 3,
-        backoff_base: 4,
-        backoff_jitter: 2,
-        lease_ticks: 20,
-        election_timeout: 300,
-    }
-}
-
-/// Scales every fault knob with one intensity in `[0, 1]`: loss,
-/// duplication, and reordering at the given probability, plus a
-/// partition window islanding one non-producer node whose length grows
-/// with the intensity.
-fn config_at(net: &Network, intensity: f64) -> SimConfig {
-    let island = if net.producer() == NodeId::new(0) {
-        NodeId::new(1)
-    } else {
-        NodeId::new(0)
-    };
-    let mut chaos = FaultPlan::new(0xFA117)
-        .duplicate(intensity / 2.0)
-        .reorder(intensity / 2.0, 2);
-    let window = (intensity * 200.0) as u64;
-    if window > 0 {
-        chaos = chaos.partition(10, 10 + window, vec![island]);
-    }
-    SimConfig {
-        loss: LossConfig {
-            drop_probability: intensity,
-            seed: 29,
-        },
-        chaos,
-        liveness: liveness(),
-        ..Default::default()
-    }
-}
-
-/// One matrix row: what a single chaos-afflicted round did.
-struct Cell {
-    topology: &'static str,
-    nodes: usize,
-    intensity: f64,
-    ticks: u64,
-    retries: u64,
-    depositions: u64,
-    faults: u64,
-    lossy_drops: u64,
-    degraded: usize,
-    fallbacks: usize,
-}
-
-fn run_cell(net: &Network, topology: &'static str, intensity: f64) -> Cell {
-    let (views, _) = build_views(net, K_HOPS).expect("views build");
-    let cfg = config_at(net, intensity);
-    let out = run_chunk_round(net, &views, ChunkId::new(0), &cfg);
-    assert!(
-        out.ticks < cfg.max_ticks,
-        "{topology} @ {intensity}: round must settle"
-    );
-    Cell {
-        topology,
-        nodes: net.node_count(),
-        intensity,
-        ticks: out.ticks,
-        retries: out.retries,
-        depositions: out.depositions,
-        faults: out.faults.total(),
-        lossy_drops: out.stats.dropped,
-        degraded: out.degraded.len(),
-        fallbacks: out.producer_fallbacks,
-    }
-}
-
-fn write_json(cells: &[Cell]) {
-    let liv = liveness();
-    let mut out = String::from("{\n  \"bench\": \"chaos_matrix\",\n");
-    out.push_str(&format!(
-        "  \"liveness\": {{ \"retry_limit\": {}, \"backoff_base\": {}, \"lease_ticks\": {}, \"election_timeout\": {} }},\n",
-        liv.retry_limit, liv.backoff_base, liv.lease_ticks, liv.election_timeout
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{ \"topology\": \"{}\", \"nodes\": {}, \"intensity\": {:.2}, \"ticks\": {}, \"retries\": {}, \"depositions\": {}, \"chaos_faults\": {}, \"lossy_drops\": {}, \"degraded\": {}, \"producer_fallbacks\": {} }}{}\n",
-            c.topology,
-            c.nodes,
-            c.intensity,
-            c.ticks,
-            c.retries,
-            c.depositions,
-            c.faults,
-            c.lossy_drops,
-            c.degraded,
-            c.fallbacks,
-            if i + 1 < cells.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
-    std::fs::write(path, out).expect("write BENCH_chaos.json");
-    eprintln!("wrote {path}");
 }
 
 fn chaos_matrix(c: &mut Criterion) {
@@ -172,7 +65,9 @@ fn chaos_matrix(c: &mut Criterion) {
         );
     }
     if !quick {
-        write_json(&cells);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+        std::fs::write(path, render_json(&cells)).expect("write BENCH_chaos.json");
+        eprintln!("wrote {path}");
     }
 }
 

@@ -4,113 +4,26 @@
 //! Each departure is handled twice: once by [`CacheWorld`]'s scoped
 //! repair (orphans re-placed by a mini dual ascent against the carried
 //! contention matrix) and once — for reference — by re-planning every
-//! live chunk from scratch on the post-departure topology. Besides the
-//! criterion display, the bench writes `BENCH_churn.json` at the
-//! repository root with the per-departure wall-clock totals, the
-//! repair-over-replan speedup, and the cost gap. Set
-//! `PEERCACHE_BENCH_QUICK=1` for a fast smoke variant that skips the
-//! JSON.
+//! live chunk from scratch on the post-departure topology. The
+//! measurement lives in [`peercache_bench::churn_cells`], shared with
+//! the `repro perf` regression gate. Besides the criterion display,
+//! the bench writes `BENCH_churn.json` at the repository root with the
+//! per-departure wall-clock totals, the repair-over-replan speedup,
+//! and the cost gap. Set `PEERCACHE_BENCH_QUICK=1` for a fast smoke
+//! variant that skips the JSON.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use peercache_core::approx::ApproxConfig;
-use peercache_core::workload::paper_grid;
-use peercache_core::world::{CacheWorld, EventOutcome, WorldEvent};
-use peercache_graph::NodeId;
-
-const RETENTION: usize = 6;
+use peercache_bench::churn_cells::{render_json, run_trace, warm_world, FULL_STEPS, TRACE_SEED};
+use peercache_core::world::WorldEvent;
 
 fn quick_mode() -> bool {
     std::env::var("PEERCACHE_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
-/// xorshift64 — the trace must be identical on every run.
-struct XorShift(u64);
-
-impl XorShift {
-    fn next_u64(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next_u64() % n.max(1) as u64) as usize
-    }
-}
-
-/// Builds the warmed-up world: a 10x10 grid with the retention window
-/// full of live chunks.
-fn warm_world() -> CacheWorld {
-    let net = paper_grid(10).expect("grid builds");
-    let mut world = CacheWorld::new(net, ApproxConfig::default()).with_retention(RETENTION);
-    for _ in 0..RETENTION {
-        world.apply(WorldEvent::ChunkArrived).expect("arrival");
-    }
-    world
-}
-
-/// One departure + one arrival per trace step, keeping the live set
-/// full. Returns per-step `(repair_us, replan_us, cost_ratio)`.
-fn run_trace(world: &mut CacheWorld, steps: usize, seed: u64) -> Vec<(u64, u64, f64)> {
-    let mut rng = XorShift(seed);
-    let mut rows = Vec::new();
-    while rows.len() < steps {
-        let producer = world.network().producer();
-        let candidates: Vec<NodeId> = world
-            .network()
-            .active_nodes()
-            .into_iter()
-            .filter(|&n| n != producer)
-            .collect();
-        let victim = candidates[rng.below(candidates.len())];
-        let report = match world.apply(WorldEvent::NodeDeparted(victim)) {
-            Ok(EventOutcome::Departed(report)) => report,
-            Ok(_) => unreachable!("departure outcome"),
-            Err(_) => continue, // would disconnect the survivors; redraw
-        };
-        let gap = world.repair_vs_replan().expect("oracle replan");
-        rows.push((report.wall_us, gap.replan_wall_us, gap.cost_ratio));
-        world.apply(WorldEvent::ChunkArrived).expect("arrival");
-    }
-    rows
-}
-
-fn write_json(rows: &[(u64, u64, f64)]) {
-    let repair_us: u64 = rows.iter().map(|r| r.0).sum();
-    let replan_us: u64 = rows.iter().map(|r| r.1).sum();
-    let speedup = replan_us as f64 / repair_us.max(1) as f64;
-    let max_ratio = rows.iter().map(|r| r.2).fold(0.0, f64::max);
-    let mean_ratio = rows.iter().map(|r| r.2).sum::<f64>() / rows.len() as f64;
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"churn_trace\",\n");
-    out.push_str("  \"topology\": \"grid10\",\n  \"nodes\": 100,\n");
-    out.push_str(&format!(
-        "  \"retention\": {RETENTION},\n  \"departures\": {},\n",
-        rows.len()
-    ));
-    out.push_str(&format!(
-        "  \"repair_total_ms\": {:.2},\n  \"replan_total_ms\": {:.2},\n",
-        repair_us as f64 / 1e3,
-        replan_us as f64 / 1e3,
-    ));
-    out.push_str(&format!(
-        "  \"repair_over_replan_speedup\": {speedup:.2},\n"
-    ));
-    out.push_str(&format!(
-        "  \"cost_ratio_mean\": {mean_ratio:.4},\n  \"cost_ratio_max\": {max_ratio:.4}\n}}\n"
-    ));
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_churn.json");
-    std::fs::write(path, out).expect("write BENCH_churn.json");
-    eprintln!("wrote {path}");
-}
-
 fn churn_trace(c: &mut Criterion) {
     let quick = quick_mode();
-    let steps = if quick { 2 } else { 12 };
+    let steps = if quick { 2 } else { FULL_STEPS };
 
     let mut group = c.benchmark_group("churn_trace");
     group.sample_size(10);
@@ -130,7 +43,7 @@ fn churn_trace(c: &mut Criterion) {
     group.finish();
 
     let mut world = warm_world();
-    let rows = run_trace(&mut world, steps, 0xBADC0DE);
+    let rows = run_trace(&mut world, steps, TRACE_SEED);
     world.validate().expect("trace leaves a valid world");
     let repair_us: u64 = rows.iter().map(|r| r.0).sum();
     let replan_us: u64 = rows.iter().map(|r| r.1).sum();
@@ -142,7 +55,9 @@ fn churn_trace(c: &mut Criterion) {
         replan_us as f64 / repair_us.max(1) as f64,
     );
     if !quick {
-        write_json(&rows);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_churn.json");
+        std::fs::write(path, render_json(&rows)).expect("write BENCH_churn.json");
+        eprintln!("wrote {path}");
     }
 }
 

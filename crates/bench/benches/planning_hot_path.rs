@@ -3,86 +3,31 @@
 //! Steiner solver) versus the original reference pipeline, on the
 //! topologies the acceptance criteria name.
 //!
-//! Besides the criterion display, the bench writes `BENCH_planning.json`
-//! at the repository root with wall-clock medians and speedups measured
-//! by `std::time::Instant` (the in-tree criterion stand-in does not
+//! The measurement lives in [`peercache_bench::planning_cells`],
+//! shared with the `repro perf` regression gate. Besides the criterion
+//! display, the bench writes `BENCH_planning.json` at the repository
+//! root with wall-clock medians and speedups measured by
+//! `std::time::Instant` (the in-tree criterion stand-in does not
 //! export its measurements). Set `PEERCACHE_BENCH_QUICK=1` to run a
 //! fast smoke variant that skips the JSON (so CI smoke runs never
 //! clobber the committed numbers).
 
-use std::time::Instant;
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use peercache_core::approx::{ApproxConfig, ApproxPlanner};
-use peercache_core::planner::CachePlanner;
+use peercache_bench::planning_cells::{
+    measure_side, optimized_config, plan_total, reference_config, render_json, CHUNKS, FULL_RUNS,
+    FULL_SIDES,
+};
 use peercache_core::workload::paper_grid;
-use peercache_core::Network;
-
-const CHUNKS: usize = 8;
 
 fn quick_mode() -> bool {
     std::env::var("PEERCACHE_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
-fn optimized_config() -> ApproxConfig {
-    ApproxConfig::default()
-}
-
-fn reference_config() -> ApproxConfig {
-    ApproxConfig {
-        reference_mode: true,
-        ..Default::default()
-    }
-}
-
-fn plan_total(net: &Network, cfg: &ApproxConfig, chunks: usize) -> f64 {
-    let mut copy = net.clone();
-    let placement = ApproxPlanner::new(cfg.clone())
-        .plan(&mut copy, chunks)
-        .expect("planner succeeds");
-    placement.total_costs().total()
-}
-
-/// Median wall time in milliseconds over `runs` full plans.
-fn measure_ms(net: &Network, cfg: &ApproxConfig, chunks: usize, runs: usize) -> f64 {
-    let mut samples: Vec<f64> = (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            let total = plan_total(net, cfg, chunks);
-            let ms = start.elapsed().as_secs_f64() * 1e3;
-            assert!(total.is_finite());
-            ms
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
-fn write_json(rows: &[(String, usize, f64, f64, bool)], chunks: usize) {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"planning_hot_path\",\n");
-    out.push_str(&format!("  \"chunks\": {chunks},\n"));
-    out.push_str("  \"planner\": \"Appx\",\n  \"results\": [\n");
-    for (idx, (topo, nodes, opt_ms, ref_ms, cost_equal)) in rows.iter().enumerate() {
-        let comma = if idx + 1 < rows.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{\"topology\": \"{topo}\", \"nodes\": {nodes}, \
-             \"optimized_ms\": {opt_ms:.1}, \"reference_ms\": {ref_ms:.1}, \
-             \"speedup\": {:.2}, \"cost_bitwise_equal\": {cost_equal}}}{comma}\n",
-            ref_ms / opt_ms,
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planning.json");
-    std::fs::write(path, out).expect("write BENCH_planning.json");
-    eprintln!("wrote {path}");
-}
-
 fn planning_hot_path(c: &mut Criterion) {
     let quick = quick_mode();
-    let sides: &[usize] = if quick { &[6] } else { &[10, 20] };
-    let runs = if quick { 1 } else { 3 };
+    let sides: &[usize] = if quick { &[6] } else { &FULL_SIDES };
+    let runs = if quick { 1 } else { FULL_RUNS };
 
     let mut group = c.benchmark_group("planning_hot_path");
     group.sample_size(10);
@@ -97,21 +42,23 @@ fn planning_hot_path(c: &mut Criterion) {
             b.iter(|| plan_total(net, &reference_config(), CHUNKS))
         });
 
-        let opt_ms = measure_ms(&net, &optimized_config(), CHUNKS, runs);
-        let ref_ms = measure_ms(&net, &reference_config(), CHUNKS, runs);
-        let cost_equal = plan_total(&net, &optimized_config(), CHUNKS).to_bits()
-            == plan_total(&net, &reference_config(), CHUNKS).to_bits();
+        let row = measure_side(side, runs);
         eprintln!(
-            "grid{side} (Q={CHUNKS}): optimized {opt_ms:.1} ms, reference {ref_ms:.1} ms, \
-             speedup {:.2}x, cost_bitwise_equal={cost_equal}",
-            ref_ms / opt_ms
+            "grid{side} (Q={CHUNKS}): optimized {:.1} ms, reference {:.1} ms, \
+             speedup {:.2}x, cost_bitwise_equal={}",
+            row.2,
+            row.3,
+            row.3 / row.2,
+            row.4
         );
-        rows.push((format!("grid{side}"), nodes, opt_ms, ref_ms, cost_equal));
+        rows.push(row);
     }
     group.finish();
 
     if !quick {
-        write_json(&rows, CHUNKS);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planning.json");
+        std::fs::write(path, render_json(&rows, CHUNKS)).expect("write BENCH_planning.json");
+        eprintln!("wrote {path}");
     }
 }
 

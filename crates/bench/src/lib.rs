@@ -19,6 +19,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos_cells;
+pub mod churn_cells;
 pub mod figs;
 pub mod harness;
+pub mod perf;
+pub mod planning_cells;
 pub mod repro;
+pub mod trace_cmd;

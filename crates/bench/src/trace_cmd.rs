@@ -1,0 +1,181 @@
+//! `repro trace <file.jsonl>` — causal-trace analysis.
+//!
+//! Reads a JSONL sink capture (a `PEERCACHE_TRACE` file), reconstructs
+//! the span forest, and prints:
+//!
+//! * a per-trace summary (spans, orphans, root fate);
+//! * the per-kind delivery-latency table (p50/p95/p99/max over the
+//!   `dist.msg.*` spans that were actually delivered);
+//! * the critical path of the busiest chunk negotiation — the causal
+//!   chain from the round root to the latest-settling leaf span.
+
+use peercache_obs as obs;
+
+/// One rendered report, separated from printing for testability.
+pub struct TraceReport {
+    /// Lines of the rendered report, in print order.
+    pub lines: Vec<String>,
+}
+
+/// Analyzes sink JSONL content into a printable report.
+///
+/// # Errors
+///
+/// Returns a message when the content contains malformed JSON.
+pub fn analyze(content: &str) -> Result<TraceReport, String> {
+    let spans = obs::parse_spans(content)?;
+    let forest = obs::build_forest(&spans);
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "{} causal span(s) across {} trace(s)",
+        spans.len(),
+        forest.len()
+    ));
+    // Per-trace listing, capped at the busiest traces for big captures
+    // — but a trace with orphans is always shown: broken causality is
+    // the signal this report exists for.
+    const LISTED: usize = 12;
+    let mut by_size: Vec<&obs::TraceTree> = forest.iter().collect();
+    by_size.sort_by_key(|t| std::cmp::Reverse(t.spans.len()));
+    let listed: std::collections::BTreeSet<u64> = by_size
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| *i < LISTED || !t.orphans.is_empty())
+        .map(|(_, t)| t.trace)
+        .collect();
+    let mut orphans = 0usize;
+    for tree in &forest {
+        orphans += tree.orphans.len();
+        if !listed.contains(&tree.trace) {
+            continue;
+        }
+        let root_fate = tree
+            .spans
+            .iter()
+            .find(|s| s.parent == 0)
+            .map_or("<no root>", |s| s.fate.as_str());
+        lines.push(format!(
+            "  trace {:#018x}: {} spans, {} orphan(s), root fate {}",
+            tree.trace,
+            tree.spans.len(),
+            tree.orphans.len(),
+            root_fate
+        ));
+    }
+    let unlisted = forest.len().saturating_sub(listed.len());
+    if unlisted > 0 {
+        lines.push(format!(
+            "  ... and {unlisted} smaller trace(s), all complete"
+        ));
+    }
+    if orphans > 0 {
+        lines.push(format!(
+            "WARNING: {orphans} orphan span(s) — broken causality"
+        ));
+    }
+
+    let table = obs::latency_table(&spans);
+    if table.is_empty() {
+        lines.push("no delivered dist.msg.* spans — no latency table".into());
+    } else {
+        lines.push(String::new());
+        lines.push(format!(
+            "{:<22} {:>7} {:>6} {:>6} {:>6} {:>6}",
+            "kind", "count", "p50", "p95", "p99", "max"
+        ));
+        for row in &table {
+            lines.push(format!(
+                "{:<22} {:>7} {:>6} {:>6} {:>6} {:>6}",
+                row.name, row.count, row.p50, row.p95, row.p99, row.max
+            ));
+        }
+    }
+
+    // The busiest negotiation tells the most interesting story.
+    if let Some(busiest) = forest.iter().max_by_key(|t| t.spans.len()) {
+        if let Some(cp) = obs::critical_path(busiest) {
+            lines.push(String::new());
+            lines.push(format!(
+                "critical path of trace {:#018x} ({} hop(s), {} tick(s) end to end):",
+                busiest.trace,
+                cp.spans.len(),
+                cp.total
+            ));
+            for s in &cp.spans {
+                lines.push(format!(
+                    "  #{:<4} {:<22} [{:>4}..{:<4}] {}",
+                    s.span, s.name, s.start, s.end, s.fate
+                ));
+            }
+        }
+    }
+    Ok(TraceReport { lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-written negotiation: root -> NPI -> TIGHT -> FREEZE. The
+    /// critical path and its total latency are computed by hand and
+    /// asserted exactly (acceptance criterion).
+    #[test]
+    fn report_matches_hand_computed_critical_path() {
+        let jsonl = concat!(
+            r#"{"ts_us":1,"kind":"span","name":"dist.round","trace":10,"span":1,"parent":0,"start":0,"end":30,"fate":"settled"}"#,
+            "\n",
+            r#"{"ts_us":2,"kind":"span","name":"dist.msg.npi","trace":10,"span":2,"parent":1,"start":0,"end":4,"fate":"delivered"}"#,
+            "\n",
+            r#"{"ts_us":3,"kind":"span","name":"dist.msg.tight","trace":10,"span":3,"parent":2,"start":4,"end":9,"fate":"delivered"}"#,
+            "\n",
+            r#"{"ts_us":4,"kind":"span","name":"dist.msg.freeze","trace":10,"span":4,"parent":3,"start":9,"end":16,"fate":"delivered"}"#,
+            "\n",
+            r#"{"ts_us":5,"kind":"span","name":"dist.msg.npi","trace":10,"span":5,"parent":1,"start":0,"end":2,"fate":"dropped:loss"}"#,
+            "\n",
+        );
+        let report = analyze(jsonl).unwrap();
+        let text = report.lines.join("\n");
+        // 5 spans, one trace, no orphans.
+        assert!(text.contains("5 causal span(s) across 1 trace(s)"));
+        assert!(text.contains("0 orphan(s)"));
+        assert!(!text.contains("WARNING"));
+        // Latency table covers only delivered message spans: npi (4),
+        // tight (5), freeze (7).
+        assert!(text.contains("dist.msg.npi"));
+        assert!(text.contains("dist.msg.freeze"));
+        // Hand-computed critical path: leaf #4 ends latest (16); chain
+        // 4 -> 3 -> 2 -> 1 reversed is [1, 2, 3, 4]; 4 hops; total =
+        // leaf.end - root.start = 16.
+        assert!(
+            text.contains("4 hop(s), 16 tick(s)"),
+            "critical path mismatch:\n{text}"
+        );
+        let hops: Vec<&str> = report
+            .lines
+            .iter()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .map(String::as_str)
+            .collect();
+        assert_eq!(hops.len(), 4);
+        assert!(hops[0].contains("dist.round"));
+        assert!(hops[3].contains("dist.msg.freeze"));
+    }
+
+    #[test]
+    fn orphans_are_flagged() {
+        let jsonl = concat!(
+            r#"{"kind":"span","name":"dist.round","trace":3,"span":1,"parent":0,"start":0,"end":5,"fate":"settled"}"#,
+            "\n",
+            r#"{"kind":"span","name":"dist.msg.cc","trace":3,"span":9,"parent":7,"start":1,"end":2,"fate":"delivered"}"#,
+            "\n",
+        );
+        let report = analyze(jsonl).unwrap();
+        let text = report.lines.join("\n");
+        assert!(text.contains("WARNING: 1 orphan span(s)"));
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(analyze("{\"kind\":\"span\",").is_err());
+    }
+}

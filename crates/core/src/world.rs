@@ -173,6 +173,39 @@ pub struct RepairVsReplan {
     pub replan_wall_us: u64,
 }
 
+/// Tick-resolution world telemetry: one sample per applied event, on
+/// the deterministic event index (never ambient time). Created only
+/// when the observability sink is enabled (or forced via
+/// [`CacheWorld::with_timeseries`]), so an untraced world does no
+/// sampling work at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldSeries {
+    /// Active-component count after each event.
+    pub components: obs::TimeSeries,
+    /// Live (served) demand: clients with a reachable data source,
+    /// summed over live chunks.
+    pub demand_live: obs::TimeSeries,
+    /// Deferred demand: interested clients cut off from every source.
+    pub demand_deferred: obs::TimeSeries,
+}
+
+impl WorldSeries {
+    fn new() -> Self {
+        WorldSeries {
+            components: obs::TimeSeries::new("world.components"),
+            demand_live: obs::TimeSeries::new("world.demand_live"),
+            demand_deferred: obs::TimeSeries::new("world.demand_deferred"),
+        }
+    }
+
+    /// Writes all three series to the sink (no-op when disabled).
+    pub fn emit(&self) {
+        self.components.emit();
+        self.demand_live.emit();
+        self.demand_deferred.emit();
+    }
+}
+
 /// Re-evaluation of one holder set under the carried snapshot.
 struct HolderEval {
     assignment: Vec<(NodeId, NodeId)>,
@@ -230,6 +263,9 @@ pub struct CacheWorld {
     /// Partition transitions observed so far, drained by
     /// [`CacheWorld::take_partition_events`].
     partition_log: Vec<PartitionEvent>,
+    /// Event-indexed telemetry; `None` (no sampling cost) unless the
+    /// sink is enabled or [`CacheWorld::with_timeseries`] forced it.
+    series: Option<WorldSeries>,
 }
 
 impl CacheWorld {
@@ -250,7 +286,22 @@ impl CacheWorld {
             clock: MonotonicClock::default(),
             partition_mode: false,
             partition_log: Vec::new(),
+            series: obs::enabled().then(WorldSeries::new),
         }
+    }
+
+    /// Forces event-indexed time-series sampling on even without a
+    /// sink (the recorder itself is pure; only [`WorldSeries::emit`]
+    /// touches the sink). Lets tests assert the sampled trajectory
+    /// deterministically.
+    pub fn with_timeseries(mut self) -> Self {
+        self.series = Some(WorldSeries::new());
+        self
+    }
+
+    /// The sampled world trajectory, when sampling is on.
+    pub fn series(&self) -> Option<&WorldSeries> {
+        self.series.as_ref()
     }
 
     /// Switches the world to partition-tolerant semantics.
@@ -478,9 +529,31 @@ impl CacheWorld {
             self.reconcile_partitions(comps_before, deferred_before)?;
         }
         self.events_applied += 1;
+        if self.series.is_some() {
+            // Sample on the event index, not ambient time: the
+            // trajectory is a pure function of the event stream.
+            let t = self.events_applied as u64;
+            let comps = self.net.component_count() as i64;
+            let live = self.live_demand() as i64;
+            let deferred = self.deferred_demand() as i64;
+            if let Some(series) = self.series.as_mut() {
+                series.components.record(t, comps);
+                series.demand_live.record(t, live);
+                series.demand_deferred.record(t, deferred);
+            }
+        }
         #[cfg(feature = "strict-invariants")]
         self.strict_check();
         Ok(outcome)
+    }
+
+    /// Total served demand across all live chunks (the complement of
+    /// [`CacheWorld::deferred_demand`]).
+    pub fn live_demand(&self) -> usize {
+        self.live
+            .iter()
+            .map(|&chunk| self.served_clients(chunk).len())
+            .sum()
     }
 
     /// Post-event partition bookkeeping: when the component count moved,
@@ -1768,6 +1841,37 @@ mod tests {
         // The world still accepts events afterwards.
         w.apply(WorldEvent::ChunkArrived).unwrap();
         w.validate().unwrap();
+    }
+
+    /// Forced time-series sampling records one point per event on the
+    /// event index, and the trajectory replays identically — the
+    /// recorder reads no ambient time.
+    #[test]
+    fn world_series_samples_every_event_deterministically() {
+        use peercache_graph::builders;
+        let run = || {
+            let net = Network::new(builders::path(5), NodeId::new(0), 2).unwrap();
+            let cfg = ApproxConfig {
+                span_threshold: 100,
+                ..ApproxConfig::default()
+            };
+            let mut w = CacheWorld::new(net, cfg)
+                .partition_tolerant()
+                .with_timeseries();
+            w.apply(WorldEvent::ChunkArrived).unwrap();
+            w.apply(WorldEvent::NodeDeparted(NodeId::new(2))).unwrap();
+            w.apply(WorldEvent::ChunkArrived).unwrap();
+            w.series().unwrap().clone()
+        };
+        let s = run();
+        assert_eq!(s.components.points(), [(1, 1), (2, 2), (3, 2)]);
+        // After the split, clients 3 and 4 defer on both live chunks.
+        assert_eq!(s.demand_deferred.points(), [(1, 0), (2, 2), (3, 4)]);
+        assert_eq!(s.demand_live.points().len(), 3);
+        assert_eq!(s, run());
+        // Without a sink and without forcing, sampling is fully off.
+        let silent = world();
+        assert!(silent.series().is_none());
     }
 
     #[test]

@@ -228,6 +228,20 @@ pub enum DropCause {
     Chaos,
 }
 
+impl DropCause {
+    /// Trace label for the fate of a dropped message, e.g.
+    /// `dropped:partition`.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DropCause::Partition => "dropped:partition",
+            DropCause::Flap => "dropped:flap",
+            DropCause::Grey => "dropped:grey",
+            DropCause::Corrupt => "dropped:corrupt",
+            DropCause::Chaos => "dropped:chaos",
+        }
+    }
+}
+
 /// The fate of one message after the chaos layer ruled on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendFate {

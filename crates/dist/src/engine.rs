@@ -29,6 +29,15 @@ pub struct Delivery {
     pub to: NodeId,
     /// The message.
     pub msg: Message,
+    /// When the message was sent (for delivery-latency histograms; the
+    /// caller supplies its own clock, since the engine clock only
+    /// advances on deliveries).
+    pub sent: Tick,
+    /// Whether this delivery is a chaos-injected duplicate copy.
+    pub dup: bool,
+    /// Causal identity of this message's span. All-zero when tracing is
+    /// off; never read by protocol logic.
+    pub ctx: obs::TraceContext,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -130,13 +139,38 @@ impl Engine {
     /// Lossy engines may silently drop the message (counted in
     /// [`MessageStats::dropped`]).
     pub fn send(&mut self, to: NodeId, delay_hops: u32, msg: Message) {
+        let sent = self.now;
+        self.send_tagged(
+            to,
+            delay_hops,
+            msg,
+            sent,
+            false,
+            obs::TraceContext::default(),
+        );
+    }
+
+    /// [`Engine::send`] with explicit telemetry: the caller's send time
+    /// `sent` (for latency histograms), whether this is a chaos
+    /// duplicate, and the message's causal span. Returns `false` when
+    /// the lossy engine dropped the message, so the caller can record
+    /// the drop fate against `ctx`.
+    pub fn send_tagged(
+        &mut self,
+        to: NodeId,
+        delay_hops: u32,
+        msg: Message,
+        sent: Tick,
+        dup: bool,
+        ctx: obs::TraceContext,
+    ) -> bool {
         if let Some((p, rng)) = &mut self.loss {
             if rng.gen::<f64>() < *p {
                 self.stats.dropped += 1;
                 if obs::enabled() {
                     obs::counter("dist.msg.dropped").incr();
                 }
-                return;
+                return false;
             }
         }
         let extra = match &mut self.jitter {
@@ -153,10 +187,14 @@ impl Engine {
             at: key.at,
             to,
             msg,
+            sent,
+            dup,
+            ctx,
         }));
         // NodeId in the heap entry is only a tiebreak-stable payload
         // index carrier; the key orders deliveries.
         self.queue.push(Reverse((key, NodeId::new(slot))));
+        true
     }
 
     /// Pops the next delivery, advancing the clock to its time.
@@ -177,8 +215,13 @@ impl Engine {
                 continue;
             };
             self.stats.record(delivery.msg.kind());
+            if delivery.dup {
+                self.stats.record_duplicate();
+            }
             if obs::enabled() {
                 delivered_counter(delivery.msg.kind()).incr();
+                latency_histogram(delivery.msg.kind())
+                    .record(delivery.at.saturating_sub(delivery.sent));
             }
             return Some(delivery);
         }
@@ -201,6 +244,26 @@ impl Engine {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Number of pending deliveries (time-series sampling).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Removes and returns every still-pending delivery in queue order
+    /// **without** advancing the clock or touching any statistic — the
+    /// round is over and these messages will never arrive. Used by the
+    /// tracer to close their spans with an `expired` fate; behind a
+    /// tracing check, so untraced runs never call it.
+    pub fn drain_pending(&mut self) -> Vec<Delivery> {
+        let mut expired = Vec::with_capacity(self.queue.len());
+        while let Some(Reverse((_, slot))) = self.queue.pop() {
+            if let Some(d) = self.payloads.get_mut(slot.index()).and_then(Option::take) {
+                expired.push(d);
+            }
+        }
+        expired
+    }
 }
 
 /// Process-global delivered-message counter for one kind (snapshotted
@@ -216,6 +279,37 @@ fn delivered_counter(kind: MessageKind) -> &'static obs::Counter {
         MessageKind::BAdmin => obs::counter("dist.msg.badmin"),
         MessageKind::Ping => obs::counter("dist.msg.ping"),
         MessageKind::Pong => obs::counter("dist.msg.pong"),
+    }
+}
+
+/// Process-global delivery-latency histogram (send tick → delivery
+/// tick) for one kind; p50/p95/p99 appear in the metrics snapshot.
+fn latency_histogram(kind: MessageKind) -> &'static obs::Histogram {
+    match kind {
+        MessageKind::Npi => obs::histogram("dist.latency.npi"),
+        MessageKind::Cc => obs::histogram("dist.latency.cc"),
+        MessageKind::Tight => obs::histogram("dist.latency.tight"),
+        MessageKind::Span => obs::histogram("dist.latency.span"),
+        MessageKind::Freeze => obs::histogram("dist.latency.freeze"),
+        MessageKind::NAdmin => obs::histogram("dist.latency.nadmin"),
+        MessageKind::BAdmin => obs::histogram("dist.latency.badmin"),
+        MessageKind::Ping => obs::histogram("dist.latency.ping"),
+        MessageKind::Pong => obs::histogram("dist.latency.pong"),
+    }
+}
+
+/// The span name for a delivered message of `kind` in the causal trace.
+pub(crate) fn message_span_name(kind: MessageKind) -> &'static str {
+    match kind {
+        MessageKind::Npi => "dist.msg.npi",
+        MessageKind::Cc => "dist.msg.cc",
+        MessageKind::Tight => "dist.msg.tight",
+        MessageKind::Span => "dist.msg.span",
+        MessageKind::Freeze => "dist.msg.freeze",
+        MessageKind::NAdmin => "dist.msg.nadmin",
+        MessageKind::BAdmin => "dist.msg.badmin",
+        MessageKind::Ping => "dist.msg.ping",
+        MessageKind::Pong => "dist.msg.pong",
     }
 }
 
@@ -320,6 +414,42 @@ mod tests {
         // Some deliveries were delayed beyond the base 1 tick.
         assert!(a.iter().any(|&t| t > 1));
         assert!(a.iter().all(|&t| t <= 6));
+    }
+
+    #[test]
+    fn tagged_sends_carry_telemetry_and_duplicates_reconcile() {
+        let mut e = Engine::new();
+        let ctx = obs::TraceContext {
+            trace: 5,
+            span: 2,
+            parent: 1,
+        };
+        assert!(e.send_tagged(NodeId::new(1), 2, msg(), 0, false, ctx));
+        assert!(e.send_tagged(NodeId::new(1), 2, msg(), 0, true, ctx));
+        assert_eq!(e.pending(), 2);
+        let d = e.next_delivery().unwrap();
+        assert_eq!(d.ctx, ctx);
+        assert!(!d.dup);
+        assert_eq!(d.sent, 0);
+        let d2 = e.next_delivery().unwrap();
+        assert!(d2.dup);
+        assert_eq!(e.stats().duplicate_delivered, 1);
+        assert_eq!(e.stats().unique_delivered(), 1);
+    }
+
+    #[test]
+    fn drain_pending_returns_undelivered_messages_untouched() {
+        let mut e = Engine::new();
+        e.send(NodeId::new(1), 1, msg());
+        e.send(NodeId::new(2), 5, msg());
+        let _ = e.next_delivery().unwrap();
+        let stats_before = *e.stats();
+        let left = e.drain_pending();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].to, NodeId::new(2));
+        assert!(e.is_idle());
+        assert_eq!(e.stats(), &stats_before);
+        assert_eq!(e.now(), 1, "drain must not advance the clock");
     }
 
     #[test]

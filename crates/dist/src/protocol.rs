@@ -158,12 +158,30 @@ pub struct MessageStats {
     delivered: [u64; MessageKind::ALL.len()],
     /// Messages dropped by fault injection.
     pub dropped: u64,
+    /// Deliveries that were chaos-injected duplicates of an already
+    /// delivered message. Duplicates also count in the per-kind
+    /// `delivered` buckets (the receiver really did process them), so
+    /// `total() - duplicate_delivered` is the number of *unique*
+    /// messages that arrived — the figure trace-completeness checks
+    /// reconcile against sends.
+    pub duplicate_delivered: u64,
 }
 
 impl MessageStats {
     /// Records one delivered message.
     pub fn record(&mut self, kind: MessageKind) {
         self.add(kind, 1);
+    }
+
+    /// Records one delivered chaos-duplicate (also counted in the
+    /// per-kind bucket by the caller's [`MessageStats::record`]).
+    pub fn record_duplicate(&mut self) {
+        self.duplicate_delivered += 1;
+    }
+
+    /// Delivered messages excluding chaos duplicates.
+    pub fn unique_delivered(&self) -> u64 {
+        self.total().saturating_sub(self.duplicate_delivered)
     }
 
     /// Records `n` delivered messages of one kind.
@@ -197,6 +215,7 @@ impl MessageStats {
             *slot += v;
         }
         self.dropped += other.dropped;
+        self.duplicate_delivered += other.duplicate_delivered;
     }
 }
 
@@ -272,13 +291,31 @@ mod tests {
         let mut a = MessageStats::default();
         a.record(MessageKind::Npi);
         a.dropped = 2;
+        a.record_duplicate();
         let mut b = MessageStats::default();
         b.add(MessageKind::Npi, 3);
         b.add(MessageKind::Span, 4);
+        b.duplicate_delivered = 2;
         a.merge(&b);
         assert_eq!(a[MessageKind::Npi], 4);
         assert_eq!(a[MessageKind::Span], 4);
         assert_eq!(a.dropped, 2);
+        assert_eq!(a.duplicate_delivered, 3);
+    }
+
+    /// A chaos duplicate counts in its kind bucket (it really arrived)
+    /// *and* in `duplicate_delivered`, so unique deliveries are
+    /// recoverable as `total() - duplicate_delivered`.
+    #[test]
+    fn duplicates_reconcile_against_unique_deliveries() {
+        let mut stats = MessageStats::default();
+        stats.record(MessageKind::Tight);
+        stats.record(MessageKind::Tight); // chaos copy of the same send
+        stats.record_duplicate();
+        assert_eq!(stats[MessageKind::Tight], 2);
+        assert_eq!(stats.total(), 2);
+        assert_eq!(stats.duplicate_delivered, 1);
+        assert_eq!(stats.unique_delivered(), 1);
     }
 
     #[test]

@@ -132,7 +132,13 @@ impl CachePlanner for DistributedPlanner {
         for q in 0..chunk_count {
             let chunk = ChunkId::new(q);
             let planner_span = chunk_span("Dist", chunk);
-            let round_span = obs::span!("dist.round", chunk = q);
+            // Carry the causal trace id so the RAII round summary and
+            // the per-message spans of the same round can be joined.
+            let round_span = obs::span!(
+                "dist.round",
+                chunk = q,
+                trace = crate::sim::round_trace_id(net, &self.config.sim, chunk)
+            );
             // CC exchange against the current caching state.
             let (views, cc_stats) = build_views(net, self.config.k_hops)?;
             let mut round_stats = cc_stats;

@@ -42,7 +42,7 @@ use peercache_graph::paths::bfs_hops;
 use peercache_graph::NodeId;
 
 use crate::chaos::{ChaosState, FaultPlan, FaultStats, SendFate};
-use crate::engine::{Engine, JitterConfig, LossConfig, Tick};
+use crate::engine::{message_span_name, Engine, JitterConfig, LossConfig, Tick};
 use peercache_obs as obs;
 
 use crate::protocol::{Message, MessageStats};
@@ -227,6 +227,15 @@ struct NodeState {
     lease_until: Tick,
     /// Last tick a lease PING was sent.
     last_ping: Tick,
+    /// Trace-only: span id of the event that (re-)activated this node
+    /// (the NPI delivery, or a deposition). Parents this node's
+    /// spontaneous sends; 0 when untraced. Never read by protocol
+    /// logic.
+    activate_span: u64,
+    /// Trace-only: span id of the FREEZE/NADMIN/BADMIN delivery this
+    /// node froze on. Parents its lease PINGs and an eventual
+    /// deposition; 0 when untraced.
+    freeze_span: u64,
 }
 
 impl NodeState {
@@ -246,6 +255,8 @@ impl NodeState {
             activated_at: 0,
             lease_until: 0,
             last_ping: 0,
+            activate_span: 0,
+            freeze_span: 0,
         }
     }
 
@@ -254,9 +265,12 @@ impl NodeState {
     }
 
     /// Freezes this node on `provider`, starting a lease when enabled.
-    fn freeze_on(&mut self, provider: NodeId, now: Tick, lease_ticks: Tick) {
+    /// `span` is the trace span id of the freezing delivery (0 when
+    /// untraced) — lease PINGs and an eventual deposition parent to it.
+    fn freeze_on(&mut self, provider: NodeId, now: Tick, lease_ticks: Tick, span: u64) {
         self.phase = Phase::Frozen;
         self.provider = Some(provider);
+        self.freeze_span = span;
         if lease_ticks > 0 {
             self.lease_until = now + lease_ticks;
             self.last_ping = now;
@@ -264,27 +278,184 @@ impl NodeState {
     }
 }
 
+/// Span id of the per-round root span (`dist.round`) in a traced run.
+const ROOT_SPAN: u64 = 1;
+
+/// Trace identity and span-id allocator for one traced round. Span ids
+/// are a plain counter (root = 1, children from 2 up), so replays
+/// allocate identically; ids are never read by protocol logic.
+#[derive(Debug)]
+struct RoundTrace {
+    trace: u64,
+    next_span: u64,
+}
+
+impl RoundTrace {
+    fn alloc(&mut self, parent: u64) -> obs::TraceContext {
+        let span = self.next_span;
+        self.next_span += 1;
+        obs::TraceContext {
+            trace: self.trace,
+            span,
+            parent,
+        }
+    }
+}
+
+/// The deterministic trace id of one chunk round: a pure hash of the
+/// seeds that shape the round, the chunk index, and a topology
+/// fingerprint (node/edge counts and the producer), so a replay maps
+/// to the same trace while different chunks, configs, or networks map
+/// to different ones.
+pub fn round_trace_id(net: &Network, cfg: &SimConfig, chunk: ChunkId) -> u64 {
+    let topology = (net.node_count() as u64)
+        .wrapping_add((net.graph().edge_count() as u64).rotate_left(16))
+        .wrapping_add((net.producer().index() as u64).rotate_left(40));
+    splitmix64(
+        cfg.chaos
+            .seed
+            .wrapping_add(cfg.loss.seed.rotate_left(24))
+            .wrapping_add(cfg.jitter.seed.rotate_left(48))
+            .wrapping_add((chunk.index() as u64).wrapping_mul(0x9E37_79B9))
+            .wrapping_add(splitmix64(topology)),
+    )
+}
+
 /// The engine plus the chaos layer: every protocol send goes through
 /// here so fault injection sees `(now, from, to)` for every message.
+/// With tracing on, every send also allocates a causal span whose fate
+/// (dropped at the chaos layer, dropped by loss, delivered, expired)
+/// is recorded exactly once.
 #[derive(Debug)]
 struct Wire {
     engine: Engine,
     chaos: ChaosState,
+    trace: Option<RoundTrace>,
 }
 
 impl Wire {
-    fn send(&mut self, now: Tick, from: NodeId, to: NodeId, hops: u32, msg: Message) {
+    fn send(&mut self, now: Tick, from: NodeId, to: NodeId, hops: u32, msg: Message, parent: u64) {
         match self.chaos.on_send(now, from, to, hops) {
-            SendFate::Dropped(_) => {}
+            SendFate::Dropped(cause) => {
+                if let Some(tr) = &mut self.trace {
+                    let ctx = tr.alloc(parent);
+                    obs::emit_span(
+                        message_span_name(msg.kind()),
+                        ctx,
+                        now,
+                        now,
+                        cause.label(),
+                        &[
+                            ("from", obs::Value::from(from.index())),
+                            ("to", obs::Value::from(to.index())),
+                        ],
+                    );
+                }
+            }
             SendFate::Deliver {
                 extra_delay,
                 copies,
             } => {
-                for _ in 0..copies {
-                    self.engine.send(to, hops.saturating_add(extra_delay), msg);
+                for copy in 0..copies {
+                    let ctx = match &mut self.trace {
+                        Some(tr) => tr.alloc(parent),
+                        None => obs::TraceContext::default(),
+                    };
+                    let scheduled = self.engine.send_tagged(
+                        to,
+                        hops.saturating_add(extra_delay),
+                        msg,
+                        now,
+                        copy > 0,
+                        ctx,
+                    );
+                    if !scheduled && self.trace.is_some() {
+                        obs::emit_span(
+                            message_span_name(msg.kind()),
+                            ctx,
+                            now,
+                            now,
+                            "dropped:loss",
+                            &[
+                                ("from", obs::Value::from(from.index())),
+                                ("to", obs::Value::from(to.index())),
+                            ],
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// Emits an instantaneous marker span (retry, deposition, election,
+    /// timeout) and returns its id for parenting follow-on sends.
+    /// Returns `parent` unchanged when tracing is off, so callers can
+    /// thread the result unconditionally.
+    fn mark(
+        &mut self,
+        name: &'static str,
+        parent: u64,
+        now: Tick,
+        fate: &str,
+        node: NodeId,
+    ) -> u64 {
+        match &mut self.trace {
+            Some(tr) => {
+                let ctx = tr.alloc(parent);
+                obs::emit_span(
+                    name,
+                    ctx,
+                    now,
+                    now,
+                    fate,
+                    &[("node", obs::Value::from(node.index()))],
+                );
+                ctx.span
+            }
+            None => parent,
+        }
+    }
+}
+
+/// Per-tick telemetry series of one traced round (only allocated when
+/// tracing is on).
+#[derive(Debug)]
+struct RoundSeries {
+    queue_depth: obs::TimeSeries,
+    in_flight: obs::TimeSeries,
+    unsettled: obs::TimeSeries,
+}
+
+impl RoundSeries {
+    fn new() -> Self {
+        RoundSeries {
+            queue_depth: obs::TimeSeries::new("sim.queue_depth"),
+            in_flight: obs::TimeSeries::new("sim.in_flight"),
+            unsettled: obs::TimeSeries::new("sim.unsettled_clients"),
+        }
+    }
+
+    fn sample(&mut self, tick: Tick, queued: usize, in_flight: usize, unsettled: usize) {
+        self.queue_depth.record(tick, queued as i64);
+        self.in_flight.record(tick, in_flight as i64);
+        self.unsettled.record(tick, unsettled as i64);
+    }
+
+    fn emit(&self) {
+        self.queue_depth.emit();
+        self.in_flight.emit();
+        self.unsettled.emit();
+    }
+}
+
+/// `span` if it is a real span id, the round root otherwise — so sends
+/// triggered by state whose causal span was never recorded still attach
+/// to the trace instead of dangling.
+fn parent_or_root(span: u64) -> u64 {
+    if span == 0 {
+        ROOT_SPAN
+    } else {
+        span
     }
 }
 
@@ -346,10 +517,19 @@ pub fn run_chunk_round(
 ) -> RoundOutcome {
     let producer = net.producer();
     let producer_hops = bfs_hops(net.graph(), producer);
+    // The tracing decision is latched once per round: ids feed nothing
+    // but the JSONL sink, so outcomes are identical with tracing on or
+    // off.
+    let tracing = obs::enabled();
     let mut wire = Wire {
         engine: Engine::with_faults(cfg.loss, cfg.jitter),
         chaos: ChaosState::compile(&cfg.chaos, &cfg.deaths),
+        trace: tracing.then(|| RoundTrace {
+            trace: round_trace_id(net, cfg, chunk),
+            next_span: ROOT_SPAN + 1,
+        }),
     };
+    let mut series = tracing.then(RoundSeries::new);
     let mut states: Vec<NodeState> = views
         .iter()
         .map(|v| NodeState::new(v.members().len()))
@@ -361,7 +541,7 @@ pub fn run_chunk_round(
     // NPI broadcast: one message per client, delivered at hop distance.
     for j in net.clients() {
         let hops = producer_hops[j.index()].unwrap_or(1);
-        wire.send(0, producer, j, hops, Message::Npi { chunk });
+        wire.send(0, producer, j, hops, Message::Npi { chunk }, ROOT_SPAN);
     }
 
     let mut tick: Tick = 0;
@@ -385,7 +565,7 @@ pub fn run_chunk_round(
             for j in net.clients() {
                 if states[j.index()].phase == Phase::Idle && !dead[j.index()] {
                     let hops = producer_hops[j.index()].unwrap_or(1);
-                    wire.send(tick, producer, j, hops, Message::Npi { chunk });
+                    wire.send(tick, producer, j, hops, Message::Npi { chunk }, ROOT_SPAN);
                 }
             }
         }
@@ -400,7 +580,25 @@ pub fn run_chunk_round(
             let Some(d) = wire.engine.next_delivery() else {
                 break;
             };
-            if dead[d.to.index()] {
+            let to_dead = dead[d.to.index()];
+            if wire.trace.is_some() {
+                let fate = if to_dead {
+                    "dead"
+                } else if d.dup {
+                    "delivered_dup"
+                } else {
+                    "delivered"
+                };
+                obs::emit_span(
+                    message_span_name(d.msg.kind()),
+                    d.ctx,
+                    d.sent,
+                    d.at,
+                    fate,
+                    &[("to", obs::Value::from(d.to.index()))],
+                );
+            }
+            if to_dead {
                 continue;
             }
             handle_message(
@@ -414,6 +612,7 @@ pub fn run_chunk_round(
                 d.to,
                 d.msg,
                 tick,
+                d.ctx.span,
             );
         }
 
@@ -430,10 +629,22 @@ pub fn run_chunk_round(
                     continue; // producer-served: the anchor needs no lease
                 };
                 if tick >= states[j.index()].lease_until {
+                    // The deposition is caused by the freeze that set up
+                    // the lease; re-activation re-parents the client's
+                    // follow-on bids to the deposition marker.
+                    let freeze_span = states[j.index()].freeze_span;
+                    let dep_span = wire.mark(
+                        "dist.deposition",
+                        parent_or_root(freeze_span),
+                        tick,
+                        "deposed",
+                        j,
+                    );
                     let st = &mut states[j.index()];
                     st.phase = Phase::Active;
                     st.provider = None;
                     st.activated_at = tick;
+                    st.activate_span = dep_span;
                     tally.depositions += 1;
                     tally.first_deposition.get_or_insert(tick);
                     if obs::enabled() {
@@ -441,7 +652,15 @@ pub fn run_chunk_round(
                     }
                 } else if tick.saturating_sub(states[j.index()].last_ping) >= ping_every {
                     states[j.index()].last_ping = tick;
-                    wire.send(tick, j, p, 1, Message::Ping { from: j });
+                    let freeze_span = states[j.index()].freeze_span;
+                    wire.send(
+                        tick,
+                        j,
+                        p,
+                        1,
+                        Message::Ping { from: j },
+                        parent_or_root(freeze_span),
+                    );
                 }
             }
         }
@@ -459,6 +678,7 @@ pub fn run_chunk_round(
                     continue;
                 }
                 let st = &mut states[j.index()];
+                let bid_parent = parent_or_root(st.activate_span);
                 if st.alpha >= cost {
                     if st.tight_attempts[idx] == 0 {
                         st.tight_attempts[idx] = 1;
@@ -469,6 +689,7 @@ pub fn run_chunk_round(
                             view.members()[idx],
                             view.hops(idx),
                             Message::Tight { from: j },
+                            bid_parent,
                         );
                     } else if st.tight_attempts[idx] < cfg.liveness.retry_limit
                         && tick >= st.tight_next[idx]
@@ -481,12 +702,14 @@ pub fn run_chunk_round(
                         if obs::enabled() {
                             obs::counter("dist.retry").incr();
                         }
+                        let retry_span = wire.mark("dist.retry", bid_parent, tick, "retry", j);
                         wire.send(
                             tick,
                             j,
                             view.members()[idx],
                             view.hops(idx),
                             Message::Tight { from: j },
+                            retry_span,
                         );
                     }
                 }
@@ -504,6 +727,7 @@ pub fn run_chunk_round(
                                 view.members()[idx],
                                 view.hops(idx),
                                 Message::Span { from: j },
+                                bid_parent,
                             );
                         } else if st.span_attempts[idx] < cfg.liveness.retry_limit
                             && tick >= st.span_next[idx]
@@ -516,12 +740,14 @@ pub fn run_chunk_round(
                             if obs::enabled() {
                                 obs::counter("dist.retry").incr();
                             }
+                            let retry_span = wire.mark("dist.retry", bid_parent, tick, "retry", j);
                             wire.send(
                                 tick,
                                 j,
                                 view.members()[idx],
                                 view.hops(idx),
                                 Message::Span { from: j },
+                                retry_span,
                             );
                         }
                     }
@@ -564,6 +790,13 @@ pub fn run_chunk_round(
                     obs::counter("dist.election_timeout").incr();
                 }
                 let reach = wire.chaos.reachable(tick, j, producer);
+                wire.mark(
+                    "dist.timeout",
+                    parent_or_root(states[j.index()].activate_span),
+                    tick,
+                    if reach { "fallback" } else { "degraded" },
+                    j,
+                );
                 let st = &mut states[j.index()];
                 if reach {
                     st.phase = Phase::Frozen;
@@ -579,8 +812,29 @@ pub fn run_chunk_round(
         // with message arrivals).
         for i in net.clients() {
             if !dead[i.index()] {
-                try_promote(net, cfg, &mut states, &mut wire, &mut tally, i, tick);
+                let parent = parent_or_root(states[i.index()].activate_span);
+                try_promote(
+                    net,
+                    cfg,
+                    &mut states,
+                    &mut wire,
+                    &mut tally,
+                    i,
+                    tick,
+                    parent,
+                );
             }
+        }
+
+        // Tick-resolution telemetry (traced runs only): demand-queue
+        // depth across nodes, in-flight messages, unsettled clients.
+        if let Some(series) = &mut series {
+            let queued: usize = states.iter().map(|s| s.requesters.len()).sum();
+            let unsettled = net
+                .clients()
+                .filter(|&j| !dead[j.index()] && !states[j.index()].settled())
+                .count();
+            series.sample(tick, queued, wire.engine.pending(), unsettled);
         }
 
         // With leases on, a frozen client whose provider is currently
@@ -631,6 +885,45 @@ pub fn run_chunk_round(
     let stats = *wire.engine.stats();
     let faults = wire.chaos.stats;
     let protocol_errors = wire.engine.payload_misses();
+    if wire.trace.is_some() {
+        // Close the spans of messages still in flight at round end —
+        // they will never arrive, so every trace terminates.
+        for d in wire.engine.drain_pending() {
+            obs::emit_span(
+                message_span_name(d.msg.kind()),
+                d.ctx,
+                d.sent,
+                tick,
+                "expired",
+                &[("to", obs::Value::from(d.to.index()))],
+            );
+        }
+    }
+    if let Some(tr) = &wire.trace {
+        obs::emit_span(
+            "dist.round",
+            obs::TraceContext {
+                trace: tr.trace,
+                span: ROOT_SPAN,
+                parent: 0,
+            },
+            0,
+            tick,
+            if tick < cfg.max_ticks {
+                "settled"
+            } else {
+                "budget"
+            },
+            &[
+                ("chunk", obs::Value::from(chunk.index())),
+                ("admins", obs::Value::from(admins.len())),
+                ("spans", obs::Value::from(tr.next_span - 1)),
+            ],
+        );
+    }
+    if let Some(series) = &series {
+        series.emit();
+    }
     if obs::enabled() {
         let mut fields = vec![
             ("chunk", obs::Value::from(chunk.index())),
@@ -732,6 +1025,9 @@ fn apply_death(
             st.phase = Phase::Active;
             st.provider = None;
             st.activated_at = now;
+            // Causally the re-bid starts a fresh arc: parent it on the
+            // round root rather than the dead provider's freeze.
+            st.activate_span = 0;
             tally.re_elections += 1;
         }
     }
@@ -751,6 +1047,7 @@ fn handle_message(
     to: NodeId,
     msg: Message,
     now: Tick,
+    parent: u64,
 ) {
     let lease = cfg.liveness.lease_ticks;
     match msg {
@@ -758,6 +1055,7 @@ fn handle_message(
             if states[to.index()].phase == Phase::Idle {
                 states[to.index()].phase = Phase::Active;
                 states[to.index()].activated_at = now;
+                states[to.index()].activate_span = parent;
             }
         }
         Message::Tight { from } | Message::Span { from } => {
@@ -773,13 +1071,13 @@ fn handle_message(
             match phase {
                 Phase::Admin => {
                     // Producer or an elected admin: serve immediately.
-                    wire.send(now, to, from, 1, Message::Freeze { provider: to });
+                    wire.send(now, to, from, 1, Message::Freeze { provider: to }, parent);
                 }
                 Phase::Frozen if net.remaining(to) == 0 => {
                     // INACTIVE branch (Table I): a node that cannot cache
                     // anything points the requester at itself as a relay
                     // toward its own provider.
-                    wire.send(now, to, from, 1, Message::Freeze { provider: to });
+                    wire.send(now, to, from, 1, Message::Freeze { provider: to }, parent);
                 }
                 Phase::Frozen | Phase::Degraded => {
                     // A served node with spare storage stays quiet: its
@@ -794,7 +1092,7 @@ fn handle_message(
                         if !states[to.index()].span_from.contains(&from) {
                             states[to.index()].span_from.push(from);
                         }
-                        try_promote(net, cfg, states, wire, tally, to, now);
+                        try_promote(net, cfg, states, wire, tally, to, now, parent);
                     }
                 }
             }
@@ -808,7 +1106,7 @@ fn handle_message(
             }
             if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
-                states[to.index()].freeze_on(provider, now, lease);
+                states[to.index()].freeze_on(provider, now, lease, parent);
             }
         }
         Message::NAdmin { admin } => {
@@ -817,7 +1115,7 @@ fn handle_message(
             }
             if states[to.index()].phase == Phase::Active || states[to.index()].phase == Phase::Idle
             {
-                states[to.index()].freeze_on(admin, now, lease);
+                states[to.index()].freeze_on(admin, now, lease, parent);
                 // Our pending requesters can reach the chunk through us.
                 let requesters: Vec<NodeId> = states[to.index()]
                     .requesters
@@ -825,7 +1123,7 @@ fn handle_message(
                     .map(|&(r, _)| r)
                     .collect();
                 for r in requesters {
-                    wire.send(now, to, r, 1, Message::Freeze { provider: admin });
+                    wire.send(now, to, r, 1, Message::Freeze { provider: admin }, parent);
                 }
             }
         }
@@ -839,14 +1137,14 @@ fn handle_message(
             if states[to.index()].phase == Phase::Active {
                 if let Some(idx) = view.index_of(admin) {
                     if states[to.index()].beta[idx] > 0.0 {
-                        states[to.index()].freeze_on(admin, now, lease);
+                        states[to.index()].freeze_on(admin, now, lease, parent);
                         let requesters: Vec<NodeId> = states[to.index()]
                             .requesters
                             .iter()
                             .map(|&(r, _)| r)
                             .collect();
                         for r in requesters {
-                            wire.send(now, to, r, 1, Message::Freeze { provider: admin });
+                            wire.send(now, to, r, 1, Message::Freeze { provider: admin }, parent);
                         }
                     }
                 }
@@ -859,7 +1157,7 @@ fn handle_message(
             let serving =
                 phase == Phase::Admin || (phase == Phase::Frozen && net.remaining(to) == 0);
             if serving {
-                wire.send(now, to, from, 1, Message::Pong { provider: to });
+                wire.send(now, to, from, 1, Message::Pong { provider: to }, parent);
             }
         }
         Message::Pong { provider } => {
@@ -878,7 +1176,7 @@ fn handle_message(
 /// the observed resource contributions cover its fairness cost.
 // Same bound proof as `handle_message`: node-count-sized arrays,
 // view-validated member indices.
-#[allow(clippy::indexing_slicing)]
+#[allow(clippy::too_many_arguments, clippy::indexing_slicing)]
 fn try_promote(
     net: &Network,
     cfg: &SimConfig,
@@ -887,6 +1185,7 @@ fn try_promote(
     tally: &mut Tally,
     i: NodeId,
     now: Tick,
+    parent: u64,
 ) {
     if states[i.index()].phase != Phase::Active && states[i.index()].phase != Phase::Idle {
         return;
@@ -910,17 +1209,20 @@ fn try_promote(
     }
     states[i.index()].phase = Phase::Admin;
     tally.elections.push((now, i));
+    // The election marker is caused by the SPAN arrival (or bid tick)
+    // that tipped the threshold; the announcements are its children.
+    let election_span = wire.mark("dist.election", parent, now, "elected", i);
     let requesters: Vec<NodeId> = states[i.index()]
         .requesters
         .iter()
         .map(|&(r, _)| r)
         .collect();
     for r in &requesters {
-        wire.send(now, i, *r, 1, Message::NAdmin { admin: i });
+        wire.send(now, i, *r, 1, Message::NAdmin { admin: i }, election_span);
     }
     for j in net.clients() {
         if j != i && !requesters.contains(&j) {
-            wire.send(now, i, j, 1, Message::BAdmin { admin: i });
+            wire.send(now, i, j, 1, Message::BAdmin { admin: i }, election_span);
         }
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! This is not a full lexer: it produces just enough token structure for the
 //! domain rules in [`crate::rules`] — identifiers, numeric literals (with a
-//! float/integer distinction), the `==`/`!=` operators, and single-character
-//! punctuation. Comments (line, block, doc), string literals (plain, byte,
-//! raw), character literals, and lifetimes are consumed and discarded so that
-//! rule keywords appearing in prose or test strings never fire.
+//! float/integer distinction), plain string literals (kept, with their
+//! content, for the observability-name rule O1), the `==`/`!=` operators,
+//! and single-character punctuation. Comments (line, block, doc), byte and
+//! raw string literals, character literals, and lifetimes are consumed and
+//! discarded so that rule keywords appearing in prose never fire.
 
 /// The classified content of one significant token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +17,9 @@ pub enum TokKind {
     Float(String),
     /// An integer literal (`42`, `0xff`, `7usize`).
     Int,
+    /// A plain double-quoted string literal, with its raw body (escape
+    /// sequences left as written). Byte and raw strings are discarded.
+    Str(String),
     /// A two-character comparison operator: only `==` and `!=` are merged.
     Op([char; 2]),
     /// Any other single punctuation character.
@@ -122,7 +126,21 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
                     }
                 }
             }
-            '"' => i = skip_quoted(&b, i + 1, '"', &mut line),
+            '"' => {
+                let start_line = line;
+                let body_start = i + 1;
+                i = skip_quoted(&b, i + 1, '"', &mut line);
+                let mut end = i.min(n);
+                // skip_quoted stops just past the closing quote; drop it
+                // (an unterminated string keeps everything).
+                if end > body_start && b[end - 1] == '"' {
+                    end -= 1;
+                }
+                toks.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Str(b[body_start..end].iter().collect()),
+                });
+            }
             '\'' => {
                 // Distinguish a lifetime (`'a`) from a char literal (`'a'`).
                 if i + 1 < n && b[i + 1] == '\\' {

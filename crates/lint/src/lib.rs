@@ -1,8 +1,8 @@
 //! `peercache-lint`: zero-dependency domain-rule linter for the workspace.
 //!
-//! Enforces four invariants that the repo's headline guarantees (byte-identical
-//! replans, deterministic churn replays, panic-free distributed bidding) rest
-//! on:
+//! Enforces five invariants that the repo's headline guarantees (byte-identical
+//! replans, deterministic churn replays, panic-free distributed bidding, a
+//! closed observability vocabulary) rest on:
 //!
 //! | Rule | Statement | Scope |
 //! |------|-----------|-------|
@@ -10,6 +10,7 @@
 //! | D2 | no `Instant`/`SystemTime`/`thread_rng` | everywhere except `obs`, `bench` |
 //! | P1 | no `unwrap`/`expect`/`panic!`-family macros | `crates/dist/src/**`, `core::world` |
 //! | N1 | no direct `==`/`!=` on cost-valued f64 | `core`, `dist`, `graph` (helpers in `core::costs` exempt) |
+//! | O1 | `obs::span!`/`event!`/counter/gauge/histogram/`TimeSeries` names must be string literals registered in `obs::names` | everywhere except `obs`, `lint` |
 //!
 //! The pass is token-level (no `syn`, no network): comments, strings, and
 //! test-only regions never fire. Violations are suppressed only through the
@@ -23,19 +24,48 @@ pub mod lexer;
 pub mod rules;
 pub mod waivers;
 
-pub use rules::Violation;
+pub use rules::{NameRegistry, Violation};
 pub use waivers::{apply_waivers, parse_waivers, Waiver, WaiverReport};
 
-/// Lint a single source file given as a string.
+/// Lint a single source file given as a string, without an O1 registry
+/// (rules D1/D2/P1/N1 only).
 ///
 /// `crate_name` is the workspace member (`core`, `dist`, ..., `peercache`
 /// for the root package); `rel_path` is the workspace-relative path with
 /// `/` separators.
 pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
+    lint_source_with_registry(crate_name, rel_path, source, None)
+}
+
+/// Lint a single source file, with rule O1 armed when `registry` is
+/// provided.
+pub fn lint_source_with_registry(
+    crate_name: &str,
+    rel_path: &str,
+    source: &str,
+    registry: Option<&NameRegistry>,
+) -> Vec<Violation> {
     let toks = lexer::tokenize(source);
     let in_test = lexer::mark_test_regions(&toks);
     let lines: Vec<&str> = source.lines().collect();
-    rules::check_tokens(crate_name, rel_path, &toks, &in_test, &lines)
+    rules::check_tokens(crate_name, rel_path, &toks, &in_test, &lines, registry)
+}
+
+/// Build the O1 name registry from the source of `crates/obs/src/names.rs`:
+/// every plain string literal outside test regions is a registered name.
+///
+/// Parsing the literals (rather than linking against `obs`) keeps the
+/// linter dependency-free and means the registry file is the single
+/// source of truth for both the runtime `is_registered` check and lint.
+pub fn registry_from_names_source(source: &str) -> NameRegistry {
+    let toks = lexer::tokenize(source);
+    let in_test = lexer::mark_test_regions(&toks);
+    NameRegistry::from_names(toks.iter().zip(&in_test).filter_map(|(t, test)| {
+        match (&t.kind, test) {
+            (lexer::TokKind::Str(s), false) => Some(s.clone()),
+            _ => None,
+        }
+    }))
 }
 
 #[cfg(test)]
@@ -99,5 +129,91 @@ mod tests {
         let src = "pub fn f(i: usize, j: usize) -> bool { i == j }";
         let v = lint_source("core", "crates/core/src/x.rs", src);
         assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    fn o1_registry() -> NameRegistry {
+        registry_from_names_source(
+            r#"pub const REGISTERED_NAMES: &[&str] = &["dist.round", "world.components"];"#,
+        )
+    }
+
+    #[test]
+    fn registry_parses_literals_outside_tests() {
+        let reg = registry_from_names_source(
+            r#"
+            pub const REGISTERED_NAMES: &[&str] = &["a.b", "c.d"];
+            #[cfg(test)]
+            mod tests { const SCRATCH: &str = "test.scratch"; }
+            "#,
+        );
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("a.b") && reg.contains("c.d"));
+        assert!(!reg.contains("test.scratch"));
+    }
+
+    #[test]
+    fn o1_accepts_registered_literal_names() {
+        let reg = o1_registry();
+        let src = r#"
+            pub fn f() {
+                let _s = obs::span!("dist.round", chunk = 3);
+                obs::event!("dist.round", fate = "ok");
+                obs::counter("dist.round", 1);
+                let _t = obs::TimeSeries::new("world.components");
+            }
+        "#;
+        let v = lint_source_with_registry("dist", "crates/dist/src/x.rs", src, Some(&reg));
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn o1_fires_on_unregistered_name() {
+        let reg = o1_registry();
+        let src = r#"pub fn f() { obs::counter("dist.mystery", 1); }"#;
+        let v = lint_source_with_registry("dist", "crates/dist/src/x.rs", src, Some(&reg));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "O1");
+        assert!(v[0].message.contains("dist.mystery"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn o1_fires_on_non_literal_name() {
+        let reg = o1_registry();
+        let src = r#"pub fn f(name: &'static str) { let _s = obs::span!(name); }"#;
+        let v = lint_source_with_registry("dist", "crates/dist/src/x.rs", src, Some(&reg));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "O1");
+        assert!(v[0].message.contains("string literal"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn o1_covers_bare_timeseries_constructors() {
+        let reg = o1_registry();
+        let src = r#"pub fn f() { let _t = TimeSeries::with_capacity("nope", 8); }"#;
+        let v = lint_source_with_registry("core", "crates/core/src/x.rs", src, Some(&reg));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "O1");
+    }
+
+    #[test]
+    fn o1_exempts_obs_lint_and_test_regions() {
+        let reg = o1_registry();
+        let src = r#"pub fn f() { obs::counter("scratch", 1); }"#;
+        for (krate, path) in [
+            ("obs", "crates/obs/src/x.rs"),
+            ("lint", "crates/lint/src/x.rs"),
+        ] {
+            let v = lint_source_with_registry(krate, path, src, Some(&reg));
+            assert!(v.is_empty(), "{krate}: {v:?}");
+        }
+        let test_src = r#"
+            #[cfg(test)]
+            mod tests { fn t() { obs::counter("scratch", 1); } }
+        "#;
+        let v = lint_source_with_registry("dist", "crates/dist/src/x.rs", test_src, Some(&reg));
+        assert!(v.is_empty(), "{v:?}");
+        // Without a registry the rule is disarmed entirely.
+        let v = lint_source("dist", "crates/dist/src/x.rs", src);
+        assert!(v.is_empty(), "{v:?}");
     }
 }

@@ -9,7 +9,9 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use peercache_lint::{apply_waivers, lint_source, parse_waivers, Waiver};
+use peercache_lint::{
+    apply_waivers, lint_source_with_registry, parse_waivers, registry_from_names_source, Waiver,
+};
 
 /// Hard budget from the acceptance criteria: the waiver file may never grow
 /// beyond this many entries.
@@ -29,6 +31,20 @@ fn main() -> ExitCode {
 fn run() -> Result<bool, String> {
     let root = workspace_root()?;
     let waivers = load_waivers(&root)?;
+
+    // Rule O1's closed vocabulary: the string literals of the obs name
+    // registry. A missing or empty registry is a hard error — it would
+    // silently disarm the rule.
+    let names_path = root.join("crates/obs/src/names.rs");
+    let names_src = std::fs::read_to_string(&names_path)
+        .map_err(|e| format!("reading {}: {e}", names_path.display()))?;
+    let registry = registry_from_names_source(&names_src);
+    if registry.is_empty() {
+        return Err(format!(
+            "{} yielded no registered names; rule O1 cannot run",
+            names_path.display()
+        ));
+    }
 
     let mut files: Vec<(String, PathBuf)> = Vec::new();
     let crates_dir = root.join("crates");
@@ -54,7 +70,12 @@ fn run() -> Result<bool, String> {
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
         let rel = rel_path(&root, path);
-        violations.extend(lint_source(crate_name, &rel, &source));
+        violations.extend(lint_source_with_registry(
+            crate_name,
+            &rel,
+            &source,
+            Some(&registry),
+        ));
     }
     let scanned = files.len();
 

@@ -1,4 +1,4 @@
-//! Domain rules D1/D2/P1/N1 over the token stream.
+//! Domain rules D1/D2/P1/N1/O1 over the token stream.
 //!
 //! Each rule is scoped by crate name or file path; scope decisions are
 //! documented on the rule itself. All rules skip test-only regions
@@ -10,7 +10,7 @@ use crate::lexer::{Tok, TokKind};
 /// A single rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `"D1"`, `"D2"`, `"P1"`, or `"N1"`.
+    /// Rule identifier: `"D1"`, `"D2"`, `"P1"`, `"N1"`, or `"O1"`.
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub file: String,
@@ -48,6 +48,44 @@ const N1_CRATES: &[&str] = &["core", "dist", "graph"];
 /// The sanctioned definition site for the epsilon / exact-tie helpers:
 /// exempt from N1 so the helpers themselves can compare floats directly.
 const N1_EXEMPT_FILE: &str = "crates/core/src/costs.rs";
+/// Crates exempt from rule O1: `obs` hosts the registry and the
+/// primitives themselves (its docs and demos use scratch names), and
+/// `lint` quotes observability names in its own fixtures.
+const O1_EXEMPT_CRATES: &[&str] = &["obs", "lint"];
+
+/// The closed vocabulary of observability names for rule O1, built from
+/// the string literals in `crates/obs/src/names.rs`.
+#[derive(Debug, Default, Clone)]
+pub struct NameRegistry {
+    names: Vec<String>,
+}
+
+impl NameRegistry {
+    /// Build a registry from an iterator of names (sorted and deduped).
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> Self {
+        let mut names: Vec<String> = names.into_iter().collect();
+        names.sort();
+        names.dedup();
+        Self { names }
+    }
+
+    /// Number of distinct registered names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .is_ok()
+    }
+}
 
 fn is_p1_scope(rel_path: &str) -> bool {
     // Protocol and event paths that must be panic-free: the whole dist
@@ -70,6 +108,7 @@ pub fn check_tokens(
     toks: &[Tok],
     in_test: &[bool],
     lines: &[&str],
+    registry: Option<&NameRegistry>,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     let snippet = |line: u32| -> String {
@@ -92,6 +131,7 @@ pub fn check_tokens(
     let d2 = !D2_EXEMPT_CRATES.contains(&crate_name);
     let p1 = is_p1_scope(rel_path);
     let n1 = N1_CRATES.contains(&crate_name) && rel_path != N1_EXEMPT_FILE;
+    let o1 = registry.filter(|_| !O1_EXEMPT_CRATES.contains(&crate_name));
 
     for (i, tok) in toks.iter().enumerate() {
         if in_test[i] {
@@ -150,6 +190,33 @@ pub fn check_tokens(
                         );
                     }
                 }
+                if let Some(reg) = o1 {
+                    if let Some(slot) = o1_name_slot(toks, i) {
+                        match toks.get(slot).map(|t| &t.kind) {
+                            Some(TokKind::Str(name)) => {
+                                if !reg.contains(name) {
+                                    push(
+                                        "O1",
+                                        tok.line,
+                                        format!(
+                                            "observability name \"{name}\" is not registered; \
+                                             add it to `REGISTERED_NAMES` in \
+                                             crates/obs/src/names.rs"
+                                        ),
+                                    );
+                                }
+                            }
+                            _ => push(
+                                "O1",
+                                tok.line,
+                                "observability names must be 'static string literals from \
+                                 `obs::names::REGISTERED_NAMES` so traces and metrics keep \
+                                 a closed, greppable vocabulary"
+                                    .to_string(),
+                            ),
+                        }
+                    }
+                }
             }
             TokKind::Op(_) if n1 && comparison_is_floaty(toks, i) => {
                 push(
@@ -165,6 +232,36 @@ pub fn check_tokens(
         }
     }
     out
+}
+
+/// For O1: if the identifier at `i` opens an observability call whose
+/// first argument is a metric/span/series name, return the token index
+/// where that name must appear.
+///
+/// Covered shapes: `obs::counter(` / `obs::gauge(` / `obs::histogram(`,
+/// `obs::span!(` / `obs::event!(`, and `TimeSeries::new(` /
+/// `TimeSeries::with_capacity(` (qualified `obs::TimeSeries::...` is
+/// caught at its `TimeSeries` token). `emit_span` is deliberately not
+/// covered: it is the plumbing layer that receives names computed by
+/// registered-name helpers such as `message_span_name`.
+fn o1_name_slot(toks: &[Tok], i: usize) -> Option<usize> {
+    let ident = |j: usize| match toks.get(j).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |j: usize, c: char| matches!(toks.get(j), Some(t) if t.kind == TokKind::Punct(c));
+    match ident(i)? {
+        "obs" if punct(i + 1, ':') && punct(i + 2, ':') => match ident(i + 3)? {
+            "counter" | "gauge" | "histogram" if punct(i + 4, '(') => Some(i + 5),
+            "span" | "event" if punct(i + 4, '!') && punct(i + 5, '(') => Some(i + 6),
+            _ => None,
+        },
+        "TimeSeries" if punct(i + 1, ':') && punct(i + 2, ':') => match ident(i + 3)? {
+            "new" | "with_capacity" if punct(i + 4, '(') => Some(i + 5),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 /// Heuristic for N1: does the `==`/`!=` at token index `op` compare

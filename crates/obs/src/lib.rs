@@ -15,6 +15,15 @@
 //!   variable is unset or empty, every tracing call is a no-op: no sink
 //!   is allocated, no field vectors are built, no I/O happens — the
 //!   only residual cost is one atomic load per call site.
+//! * **Causal tracing** — [`TraceContext`]/[`emit_span`] spans with
+//!   explicit trace/span/parent ids and tick timestamps, plus the
+//!   offline analysis half ([`parse_spans`], [`build_forest`],
+//!   [`critical_path`], [`latency_table`]) used by `repro trace`.
+//! * **Time-series** — bounded, deterministic [`TimeSeries`] recorders
+//!   with decimation, owned by the instrumented component.
+//! * **Support** — a minimal [`Json`] reader (no crates-io access) and
+//!   the central observability-name registry ([`REGISTERED_NAMES`],
+//!   enforced by lint rule O1).
 //!
 //! # Record schema
 //!
@@ -48,18 +57,29 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod json;
 mod metrics;
+mod names;
 mod sink;
 mod span;
+mod timeseries;
+mod trace;
 mod value;
 
 pub use clock::MonotonicClock;
+pub use json::Json;
 pub use metrics::{
     counter, gauge, histogram, reset_metrics, snapshot_metrics, Counter, Gauge, Histogram,
     MetricSnapshot,
 };
+pub use names::{is_registered, REGISTERED_NAMES};
 pub use sink::{emit_metrics, enabled, flush};
 pub use span::{event, span, Span, Stopwatch};
+pub use timeseries::TimeSeries;
+pub use trace::{
+    build_forest, critical_path, emit_span, latency_table, parse_spans, CriticalPath, LatencyRow,
+    SpanRecord, TraceContext, TraceTree,
+};
 pub use value::Value;
 
 /// Starts a [`Span`] with inline fields:

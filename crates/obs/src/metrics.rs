@@ -62,16 +62,45 @@ impl Gauge {
     }
 }
 
+/// Number of log-scale buckets in a [`Histogram`]: values below 64 get
+/// one exact bucket each; every power-of-two octave above is split into
+/// 8 sub-buckets (HDR-style), bounding the relative quantile error at
+/// 12.5% while keeping the struct a flat atomic array.
+const HISTOGRAM_BUCKETS: usize = 64 + (64 - 6) * 8;
+
+/// Index of the bucket containing `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < 64 {
+        return v as usize;
+    }
+    let octave = (63 - v.leading_zeros()) as usize; // 2^octave <= v
+    let sub = ((v >> (octave - 3)) & 7) as usize;
+    64 + (octave - 6) * 8 + sub
+}
+
+/// Largest value mapping to bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 64 {
+        return idx as u64;
+    }
+    let k = idx - 64;
+    let octave = 6 + k / 8;
+    let sub = (k % 8) as u128;
+    let upper = ((8 + sub + 1) << (octave - 3)) - 1;
+    u64::try_from(upper).unwrap_or(u64::MAX)
+}
+
 /// A streaming histogram of `u64` samples: count, sum, min, max plus
-/// power-of-two magnitude buckets (bucket `i` counts samples whose
-/// bit length is `i`, i.e. `2^(i-1) <= v < 2^i`, bucket 0 counts 0s).
+/// log-scale buckets — exact below 64, 8 sub-buckets per power-of-two
+/// octave above (`bucket_index`), tight enough for p50/p95/p99
+/// delivery-latency reporting.
 #[derive(Debug)]
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
-    buckets: [AtomicU64; 65],
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -93,8 +122,7 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
-        let bucket = (u64::BITS - v.leading_zeros()) as usize;
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of samples recorded.
@@ -123,9 +151,9 @@ impl Histogram {
         (n > 0).then(|| self.sum() as f64 / n as f64)
     }
 
-    /// Upper bound of the smallest magnitude bucket containing the
+    /// Upper bound of the smallest log-scale bucket containing the
     /// `q`-quantile (`q` in `[0, 1]`), or `None` before any sample.
-    /// Coarse by design — buckets are powers of two.
+    /// Exact for values below 64; within 12.5% above.
     pub fn quantile_bound(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
@@ -136,11 +164,7 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= target {
-                return Some(if i == 0 {
-                    0
-                } else {
-                    (1u64 << (i - 1)).saturating_mul(2) - 1
-                });
+                return Some(bucket_upper(i));
             }
         }
         self.max()
@@ -253,12 +277,13 @@ pub fn snapshot_metrics() -> Vec<MetricSnapshot> {
                 kind: "histogram",
                 name: (*name).to_string(),
                 body: format!(
-                    "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50_le\":{},\"p99_le\":{}",
+                    "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50_le\":{},\"p95_le\":{},\"p99_le\":{}",
                     h.count(),
                     h.sum(),
                     h.min().unwrap_or(0),
                     h.max().unwrap_or(0),
                     h.quantile_bound(0.5).unwrap_or(0),
+                    h.quantile_bound(0.95).unwrap_or(0),
                     h.quantile_bound(0.99).unwrap_or(0),
                 ),
             },
@@ -313,9 +338,48 @@ mod tests {
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(100));
         assert!((h.mean().unwrap() - 21.2).abs() < 1e-9);
-        // p50 of [0,1,2,3,100] is 2 → bucket upper bound 3.
-        assert_eq!(h.quantile_bound(0.5), Some(3));
+        // p50 of [0,1,2,3,100] is 2 — exact, since buckets below 64 are
+        // one value wide.
+        assert_eq!(h.quantile_bound(0.5), Some(2));
         assert!(h.quantile_bound(1.0).unwrap() >= 100);
+    }
+
+    #[test]
+    fn log_buckets_bound_relative_error() {
+        // Below 64 the bucket is the value itself; above, the upper
+        // bound overshoots by at most 1/8 of the value's octave.
+        for v in [0u64, 1, 5, 63, 64, 100, 1000, 123_456, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper {upper} < v {v}");
+            if v < 64 {
+                assert_eq!(upper, v);
+            } else {
+                assert!(upper - v <= v / 8 + 1, "v {v} upper {upper} too loose");
+            }
+            if idx > 0 {
+                assert!(
+                    bucket_upper(idx - 1) < v,
+                    "bucket {idx} not minimal for {v}"
+                );
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        // 100 sits in the [96,104) sub-bucket of the 64..128 octave.
+        assert_eq!(bucket_upper(bucket_index(100)), 103);
+    }
+
+    #[test]
+    fn quantiles_on_latency_like_data() {
+        let h = histogram("test.histogram.latency");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_bound(0.5), Some(50));
+        // 95 falls in the sub-bucket [88,96): upper bound 95 — exact here.
+        assert_eq!(h.quantile_bound(0.95), Some(95));
+        assert_eq!(h.quantile_bound(0.99), Some(103));
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Causal tracing: deterministic trace contexts, span emission, and
+//! offline reconstruction of span trees from a JSONL trace.
+//!
+//! Unlike [`crate::span`] (a wall-clock RAII timer), causal spans carry
+//! explicit identity — a trace id, a span id, and a parent span id —
+//! and explicit start/end timestamps in *simulation ticks*, so a
+//! deterministic run emits a byte-identical trace (modulo the `ts_us`
+//! wall-clock prefix) on every replay. The distributed simulator
+//! allocates span ids from a per-round counter and derives the trace id
+//! from the configured seeds; nothing about ids ever feeds back into
+//! protocol decisions, so tracing on/off cannot change an outcome.
+//!
+//! Record schema (`kind":"span"` lines that carry a `"trace"` member):
+//!
+//! ```json
+//! {"ts_us":9,"kind":"span","name":"dist.msg.tight","trace":81,"span":7,
+//!  "parent":1,"start":3,"end":5,"fate":"delivered","from":2,"to":0}
+//! ```
+//!
+//! The analysis half ([`parse_spans`], [`build_forest`],
+//! [`critical_path`], [`latency_table`]) powers `repro trace` and the
+//! trace-completeness tests.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::sink::{enabled, write_record};
+use crate::value::Value;
+
+/// Identity of one causal span: which trace it belongs to, its own id,
+/// and the id of the span that caused it (0 = root, no parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Trace id, deterministic from the run's seeds.
+    pub trace: u64,
+    /// This span's id, unique within the trace (roots use 1).
+    pub span: u64,
+    /// Parent span id; 0 marks a root span.
+    pub parent: u64,
+}
+
+/// Emits one causal span record. `start`/`end` are in simulation ticks;
+/// `fate` states how the span resolved (`delivered`, `dropped:loss`,
+/// `expired`, ...). No-op when tracing is off.
+pub fn emit_span(
+    name: &'static str,
+    ctx: TraceContext,
+    start: u64,
+    end: u64,
+    fate: &str,
+    fields: &[(&str, Value)],
+) {
+    if !enabled() {
+        return;
+    }
+    let extra = format!(
+        "\"trace\":{},\"span\":{},\"parent\":{},\"start\":{},\"end\":{},\"fate\":\"{}\"",
+        ctx.trace, ctx.span, ctx.parent, start, end, fate
+    );
+    write_record("span", name, &extra, fields);
+}
+
+/// One causal span read back from a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `dist.msg.tight`).
+    pub name: String,
+    /// Trace id.
+    pub trace: u64,
+    /// Span id.
+    pub span: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Start tick.
+    pub start: u64,
+    /// End tick.
+    pub end: u64,
+    /// How the span resolved.
+    pub fate: String,
+}
+
+impl SpanRecord {
+    /// `end - start` (saturating).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Parses every causal span out of a JSONL trace. Lines that are not
+/// span records, or span records without the full causal schema
+/// (`trace`/`span`/`parent`/`start`/`end` — RAII wall-clock spans may
+/// carry a correlating `trace` field but no span id), are skipped;
+/// malformed JSON is an error.
+pub fn parse_spans(jsonl: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if v.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let field = |k: &str| v.get(k).and_then(Json::as_u64);
+        let (Some(trace), Some(span), Some(parent), Some(start), Some(end)) = (
+            field("trace"),
+            field("span"),
+            field("parent"),
+            field("start"),
+            field("end"),
+        ) else {
+            continue;
+        };
+        spans.push(SpanRecord {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: span missing name", lineno + 1))?
+                .to_string(),
+            trace,
+            span,
+            parent,
+            start,
+            end,
+            fate: v
+                .get("fate")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        });
+    }
+    Ok(spans)
+}
+
+/// All spans of one trace, plus which of them are orphans.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id.
+    pub trace: u64,
+    /// Every span of the trace, in span-id (allocation) order.
+    pub spans: Vec<SpanRecord>,
+    /// Ids of spans whose non-zero parent id resolves to no span in
+    /// this trace. Empty for a complete trace.
+    pub orphans: Vec<u64>,
+}
+
+/// Groups spans by trace id (ascending) and flags orphans.
+///
+/// Replaying a round within one process capture re-emits the exact
+/// same records under the same trace id (a replay *is* the same
+/// trace), so byte-identical duplicates within a trace collapse to one
+/// span; span-id order is preserved.
+#[must_use]
+pub fn build_forest(spans: &[SpanRecord]) -> Vec<TraceTree> {
+    let mut by_trace: BTreeMap<u64, Vec<SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace).or_default().push(s.clone());
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace, mut spans)| {
+            spans.sort_by(|a, b| {
+                (a.span, a.start, a.end, &a.name, &a.fate, a.parent)
+                    .cmp(&(b.span, b.start, b.end, &b.name, &b.fate, b.parent))
+            });
+            spans.dedup();
+            let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span).collect();
+            let orphans = spans
+                .iter()
+                .filter(|s| s.parent != 0 && !ids.contains(&s.parent))
+                .map(|s| s.span)
+                .collect();
+            TraceTree {
+                trace,
+                spans,
+                orphans,
+            }
+        })
+        .collect()
+}
+
+/// The critical path of one trace: the causal chain from the root down
+/// to the latest-finishing span.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// The chain, root first.
+    pub spans: Vec<SpanRecord>,
+    /// `last.end - first.start`: end-to-end latency along the chain.
+    pub total: u64,
+}
+
+/// Computes the critical path of `tree`: finds the latest-finishing
+/// *leaf* span (largest `end`; larger span id on ties, i.e. the
+/// causally later allocation) and walks its parent chain back to the
+/// root. Leaves only — the root span covers the whole round by
+/// construction, so scanning interior spans would always degenerate to
+/// the root alone. Returns `None` for an empty trace.
+#[must_use]
+pub fn critical_path(tree: &TraceTree) -> Option<CriticalPath> {
+    let by_id: BTreeMap<u64, &SpanRecord> = tree.spans.iter().map(|s| (s.span, s)).collect();
+    let parents: std::collections::BTreeSet<u64> = tree.spans.iter().map(|s| s.parent).collect();
+    let last = tree
+        .spans
+        .iter()
+        .filter(|s| !parents.contains(&s.span))
+        .max_by(|a, b| a.end.cmp(&b.end).then(a.span.cmp(&b.span)))?;
+    let mut chain = vec![last.clone()];
+    let mut cursor = last;
+    while cursor.parent != 0 {
+        match by_id.get(&cursor.parent) {
+            Some(parent) => {
+                chain.push((*parent).clone());
+                cursor = parent;
+            }
+            None => break, // orphan: path starts mid-air
+        }
+    }
+    chain.reverse();
+    let total = chain
+        .last()
+        .map(|l| l.end.saturating_sub(chain[0].start))
+        .unwrap_or(0);
+    Some(CriticalPath {
+        spans: chain,
+        total,
+    })
+}
+
+/// Exact delivery-latency percentiles for one message kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// Span name (e.g. `dist.msg.cc`).
+    pub name: String,
+    /// Number of delivered spans.
+    pub count: u64,
+    /// Exact p50 latency in ticks.
+    pub p50: u64,
+    /// Exact p95 latency in ticks.
+    pub p95: u64,
+    /// Exact p99 latency in ticks.
+    pub p99: u64,
+    /// Largest latency in ticks.
+    pub max: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Builds a per-kind delivery-latency table from `dist.msg.*` spans
+/// whose fate is a delivery (`delivered` / `delivered_dup`), sorted by
+/// name. Percentiles are exact (computed from the full sample list,
+/// not histogram buckets).
+#[must_use]
+pub fn latency_table(spans: &[SpanRecord]) -> Vec<LatencyRow> {
+    let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for s in spans {
+        if s.name.starts_with("dist.msg.") && s.fate.starts_with("delivered") {
+            by_name.entry(&s.name).or_default().push(s.latency());
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, mut lats)| {
+            lats.sort_unstable();
+            LatencyRow {
+                name: name.to_string(),
+                count: lats.len() as u64,
+                p50: percentile(&lats, 0.50),
+                p95: percentile(&lats, 0.95),
+                p99: percentile(&lats, 0.99),
+                max: *lats.last().expect("non-empty"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        name: &str,
+        trace: u64,
+        span: u64,
+        parent: u64,
+        start: u64,
+        end: u64,
+        fate: &str,
+    ) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            trace,
+            span,
+            parent,
+            start,
+            end,
+            fate: fate.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_only_causal_spans() {
+        let jsonl = concat!(
+            "{\"ts_us\":1,\"kind\":\"span\",\"name\":\"dist.round\",\"trace\":9,\"span\":1,\"parent\":0,\"start\":0,\"end\":40,\"fate\":\"settled\"}\n",
+            "{\"ts_us\":2,\"kind\":\"span\",\"name\":\"planner.chunk\",\"dur_us\":55}\n",
+            "{\"ts_us\":3,\"kind\":\"counter\",\"name\":\"dist.retry\",\"value\":4}\n",
+            "\n",
+            "{\"ts_us\":4,\"kind\":\"span\",\"name\":\"dist.msg.npi\",\"trace\":9,\"span\":2,\"parent\":1,\"start\":0,\"end\":2,\"fate\":\"delivered\"}\n",
+        );
+        let spans = parse_spans(jsonl).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "dist.round");
+        assert_eq!(spans[1].parent, 1);
+        assert_eq!(spans[1].latency(), 2);
+        assert!(parse_spans("{oops").is_err());
+    }
+
+    #[test]
+    fn forest_groups_and_flags_orphans() {
+        let spans = vec![
+            rec("dist.round", 7, 1, 0, 0, 10, "settled"),
+            rec("dist.msg.npi", 7, 2, 1, 0, 1, "delivered"),
+            rec("dist.msg.cc", 8, 2, 5, 0, 1, "delivered"), // parent 5 missing
+            rec("dist.round", 8, 1, 0, 0, 3, "settled"),
+        ];
+        let forest = build_forest(&spans);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].trace, 7);
+        assert!(forest[0].orphans.is_empty());
+        assert_eq!(forest[1].orphans, vec![2]);
+    }
+
+    #[test]
+    fn critical_path_matches_hand_computation() {
+        // Hand-built negotiation: root (1) covers ticks 0..40. Chain A:
+        // 1→2→4 ends at 12. Chain B: 1→3→5→6 ends at 40 (the deposition).
+        // Critical path must be B, 4 spans, total 40 - 0 = 40.
+        let spans = vec![
+            rec("dist.round", 3, 1, 0, 0, 40, "settled"),
+            rec("dist.msg.npi", 3, 2, 1, 0, 2, "delivered"),
+            rec("dist.msg.tight", 3, 3, 1, 1, 4, "delivered"),
+            rec("dist.msg.freeze", 3, 4, 2, 2, 12, "delivered"),
+            rec("dist.msg.nadmin", 3, 5, 3, 4, 9, "delivered"),
+            rec("dist.deposition", 3, 6, 5, 40, 40, "deposed"),
+        ];
+        let tree = &build_forest(&spans)[0];
+        let path = critical_path(tree).unwrap();
+        assert_eq!(
+            path.spans.iter().map(|s| s.span).collect::<Vec<_>>(),
+            vec![1, 3, 5, 6],
+        );
+        assert_eq!(path.spans.len(), 4);
+        assert_eq!(path.total, 40);
+    }
+
+    #[test]
+    fn critical_path_survives_orphans() {
+        let spans = vec![
+            rec("dist.msg.cc", 2, 4, 9, 5, 20, "delivered"), // orphan
+            rec("dist.round", 2, 1, 0, 0, 10, "budget"),
+        ];
+        let tree = &build_forest(&spans)[0];
+        let path = critical_path(tree).unwrap();
+        assert_eq!(path.spans.len(), 1);
+        assert_eq!(path.spans[0].span, 4);
+        assert_eq!(path.total, 15);
+    }
+
+    #[test]
+    fn latency_table_is_exact() {
+        let mut spans = vec![rec("dist.round", 1, 1, 0, 0, 99, "settled")];
+        // 20 TIGHT deliveries with latencies 1..=20, one dropped (ignored).
+        for i in 1..=20u64 {
+            spans.push(rec("dist.msg.tight", 1, 1 + i, 1, 0, i, "delivered"));
+        }
+        spans.push(rec("dist.msg.tight", 1, 40, 1, 0, 500, "dropped:loss"));
+        spans.push(rec("dist.msg.cc", 1, 41, 1, 2, 5, "delivered_dup"));
+        let table = latency_table(&spans);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].name, "dist.msg.cc");
+        assert_eq!(table[0].count, 1);
+        assert_eq!(table[0].p50, 3);
+        let tight = &table[1];
+        assert_eq!(tight.count, 20);
+        assert_eq!(tight.p50, 10); // ceil(0.5*20) = 10th smallest = 10
+        assert_eq!(tight.p95, 19); // ceil(0.95*20) = 19
+        assert_eq!(tight.p99, 20); // ceil(0.99*20) = 20
+        assert_eq!(tight.max, 20);
+    }
+}

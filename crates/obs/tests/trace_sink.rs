@@ -110,6 +110,57 @@ fn file_sink_captures_spans_events_and_metrics() {
         .expect("histogram snapshot recorded");
     assert!(hist.contains("\"count\":1"));
     assert!(hist.contains("\"sum\":250"));
+    assert!(hist.contains("\"p95_le\":"));
+
+    // Causal spans round-trip through the analysis half.
+    obs::emit_span(
+        "dist.round",
+        obs::TraceContext {
+            trace: 77,
+            span: 1,
+            parent: 0,
+        },
+        0,
+        9,
+        "settled",
+        &[],
+    );
+    obs::emit_span(
+        "dist.msg.npi",
+        obs::TraceContext {
+            trace: 77,
+            span: 2,
+            parent: 1,
+        },
+        0,
+        3,
+        "delivered",
+        &[("to", obs::Value::from(4u64))],
+    );
+    let mut ts = obs::TimeSeries::with_capacity("sim.queue_depth", 8);
+    ts.record(0, 2);
+    ts.record(1, 5);
+    ts.emit();
+    obs::flush();
+
+    let content = std::fs::read_to_string(&path).expect("trace file exists");
+    for line in content.lines() {
+        assert_valid_jsonish(line);
+    }
+    let spans = obs::parse_spans(&content).expect("trace parses");
+    assert_eq!(spans.len(), 2, "exactly the two causal spans: {spans:?}");
+    let forest = obs::build_forest(&spans);
+    assert_eq!(forest.len(), 1);
+    assert!(forest[0].orphans.is_empty());
+    let path_out = obs::critical_path(&forest[0]).expect("non-empty trace");
+    assert_eq!(path_out.spans.len(), 2);
+    assert_eq!(path_out.total, 3);
+    let series_line = content
+        .lines()
+        .find(|l| l.contains("\"kind\":\"timeseries\""))
+        .expect("timeseries record");
+    assert!(series_line.contains("\"name\":\"sim.queue_depth\""));
+    assert!(series_line.contains("\"points\":[[0,2],[1,5]]"));
 
     let _ = std::fs::remove_file(&path);
 }

@@ -17,7 +17,7 @@ run() {
 }
 
 run cargo fmt --all --check
-# Domain rules first (D1/D2/P1/N1, see DESIGN.md §11): fails on any
+# Domain rules first (D1/D2/P1/N1/O1, see DESIGN.md §11): fails on any
 # unwaived violation or stale entry in lint-waivers.toml.
 run cargo run -p peercache-lint --quiet
 run cargo clippy --workspace --all-targets -- -D warnings
@@ -40,5 +40,12 @@ if [[ $fast -eq 0 ]]; then
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench planning_hot_path
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench churn_trace
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench chaos_matrix
+    # Perf-regression gate: re-runs the benches fresh and diffs the
+    # structural counters (exact) and wall-clock numbers (tolerance
+    # band, see PEERCACHE_PERF_TOL) against the committed BENCH_*.json.
+    run cargo run --release --bin repro -- perf --check
+    # Trace-analyzer smoke on the committed chaos capture: span forest,
+    # latency table, and critical path must all render without orphans.
+    run cargo run -q --release --bin repro -- trace tests/fixtures/chaos_fixture.jsonl
 fi
 echo "==> all checks passed"

@@ -1,0 +1,296 @@
+//! Trace completeness under chaos: the causal span capture of a
+//! 500-fault round must account for every message exactly once, carry
+//! no orphan spans, replay byte-identically, and leave the protocol
+//! outcome bit-for-bit unchanged versus an untraced run.
+//!
+//! The `PEERCACHE_TRACE` sink latches its environment variable once
+//! per process, so the traced round runs in a child process (this same
+//! test binary re-executed with `--ignored --exact` on the emitter
+//! tests below) while the parent re-runs the identical scenario
+//! untraced and reconciles the capture against the outcome counters.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use peercache::dist::engine::{JitterConfig, LossConfig};
+use peercache::dist::sim::{round_trace_id, run_chunk_round, RoundOutcome, SimConfig};
+use peercache::dist::view::build_views;
+use peercache::obs;
+use peercache::prelude::*;
+
+/// The acceptance chaos scenario: same shape as `chaos_trace.rs` — a
+/// 15% lossy 8x8 grid with duplication, reordering, corruption, two
+/// partition windows, a flapping link, and a grey node.
+fn chaos_config(elected_at: u64, victim: NodeId, corner: NodeId) -> SimConfig {
+    let window_from = elected_at + 1;
+    let producer = NodeId::new(9);
+    SimConfig {
+        loss: LossConfig {
+            drop_probability: 0.15,
+            seed: 11,
+        },
+        jitter: JitterConfig {
+            max_extra_ticks: 2,
+            seed: 5,
+        },
+        chaos: FaultPlan::new(0xC4A05)
+            .duplicate(0.15)
+            .reorder(0.15, 3)
+            .corrupt(0.02)
+            .partition(window_from, window_from + 120, vec![victim])
+            .partition(window_from + 40, window_from + 100, vec![corner])
+            .flap(producer, corner, 12, 5)
+            .grey(NodeId::new(20), 0.25),
+        liveness: LivenessConfig {
+            retry_limit: 4,
+            backoff_base: 4,
+            backoff_jitter: 3,
+            lease_ticks: 24,
+            election_timeout: 400,
+        },
+        ..Default::default()
+    }
+}
+
+/// Runs the acceptance scenario (deriving the partition victim from an
+/// undisturbed baseline, exactly as `chaos_trace.rs` does). Returns the
+/// outcome plus the chaos round's deterministic trace id, so the
+/// analysis can single out its tree (the baseline round, when traced,
+/// contributes a separate trace).
+fn run_scenario() -> (RoundOutcome, u64) {
+    let net = paper_grid(8).unwrap();
+    let (views, _) = build_views(&net, 2).unwrap();
+    let baseline = run_chunk_round(&net, &views, ChunkId::new(0), &SimConfig::default());
+    let &(elected_at, victim) = baseline
+        .elections
+        .first()
+        .expect("baseline elects an admin");
+    let corner = if victim == NodeId::new(0) {
+        NodeId::new(63)
+    } else {
+        NodeId::new(0)
+    };
+    let cfg = chaos_config(elected_at, victim, corner);
+    let trace = round_trace_id(&net, &cfg, ChunkId::new(0));
+    (run_chunk_round(&net, &views, ChunkId::new(0), &cfg), trace)
+}
+
+/// Child-process emitter for the chaos capture: run under
+/// `PEERCACHE_TRACE=<file>` by the parent test. Prints the outcome's
+/// `Debug` form so the parent can compare it against the untraced run.
+#[test]
+#[ignore = "emitter helper; run by chaos_capture_is_complete_and_deterministic"]
+fn emit_chaos_trace_child() {
+    let (out, _) = run_scenario();
+    println!("OUTCOME {out:?}");
+    obs::flush();
+}
+
+/// Child-process emitter for the small committed fixture
+/// (`tests/fixtures/chaos_fixture.jsonl`) that `scripts/check.sh`
+/// smoke-tests `repro trace` against: a mildly chaotic grid4 round.
+#[test]
+#[ignore = "emitter helper; used to (re)generate tests/fixtures/chaos_fixture.jsonl"]
+fn emit_fixture_trace_child() {
+    let net = paper_grid(4).unwrap();
+    let (views, _) = build_views(&net, 2).unwrap();
+    let cfg = SimConfig {
+        loss: LossConfig {
+            drop_probability: 0.1,
+            seed: 3,
+        },
+        chaos: FaultPlan::new(0xF1D0).duplicate(0.1).reorder(0.1, 2),
+        liveness: LivenessConfig {
+            retry_limit: 3,
+            backoff_base: 4,
+            backoff_jitter: 2,
+            lease_ticks: 20,
+            election_timeout: 300,
+        },
+        ..Default::default()
+    };
+    let out = run_chunk_round(&net, &views, ChunkId::new(0), &cfg);
+    assert!(out.ticks < cfg.max_ticks, "fixture round must settle");
+    obs::flush();
+}
+
+/// Re-executes this test binary with `PEERCACHE_TRACE={path}` running
+/// only the named ignored emitter, and returns its stdout.
+fn run_emitter(test_name: &str, path: &std::path::Path) -> String {
+    let _ = std::fs::remove_file(path); // the sink appends
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = Command::new(exe)
+        .args([
+            "--ignored",
+            "--exact",
+            test_name,
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("PEERCACHE_TRACE", path)
+        .output()
+        .expect("spawn emitter child");
+    assert!(
+        output.status.success(),
+        "emitter {test_name} failed:\n{}\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// Strips the two wall-clock members every sink record can carry — the
+/// `"ts_us":N,` line prefix and a span's `"dur_us":N` — leaving only
+/// deterministic content.
+fn strip_wall_clock(capture: &str) -> String {
+    fn drop_member(line: &str, key: &str) -> String {
+        let Some(at) = line.find(key) else {
+            return line.to_string();
+        };
+        let digits_end = line[at + key.len()..]
+            .find(|c: char| !c.is_ascii_digit())
+            .map_or(line.len(), |d| at + key.len() + d);
+        let mut out = String::with_capacity(line.len());
+        if line[..at].ends_with(',') {
+            out.push_str(&line[..at - 1]);
+            out.push_str(&line[digits_end..]);
+        } else {
+            out.push_str(&line[..at]);
+            out.push_str(
+                line[digits_end..]
+                    .strip_prefix(',')
+                    .unwrap_or(&line[digits_end..]),
+            );
+        }
+        out
+    }
+    capture
+        .lines()
+        .map(|line| {
+            format!(
+                "{}\n",
+                drop_member(&drop_member(line, "\"ts_us\":"), "\"dur_us\":")
+            )
+        })
+        .collect()
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "peercache_trace_{}_{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn chaos_capture_is_complete_and_deterministic() {
+    // The same scenario untraced, in-process: the ground truth the
+    // capture must reconcile against (and the tracing-off half of the
+    // on/off byte-identity check).
+    let (untraced, chaos_trace_id) = run_scenario();
+    let injected = untraced.faults.total() + untraced.stats.dropped;
+    assert!(injected >= 500, "only {injected} faults injected");
+
+    let path_a = tmp_path("a");
+    let path_b = tmp_path("b");
+    let stdout_a = run_emitter("emit_chaos_trace_child", &path_a);
+    let stdout_b = run_emitter("emit_chaos_trace_child", &path_b);
+
+    // Tracing must not perturb the protocol: the traced child's
+    // outcome Debug-prints identically to the untraced in-process run.
+    // libtest may prefix the line with its own `test ... ` progress
+    // text, so search within lines rather than anchoring at column 0.
+    let outcome_line = |s: &str| {
+        s.lines()
+            .find_map(|l| l.split_once("OUTCOME ").map(|(_, rest)| rest.to_string()))
+            .expect("child prints OUTCOME line")
+    };
+    assert_eq!(
+        outcome_line(&stdout_a),
+        format!("{untraced:?}"),
+        "traced outcome differs from untraced outcome"
+    );
+    assert_eq!(outcome_line(&stdout_a), outcome_line(&stdout_b));
+
+    // Byte-identical replay of the capture itself (modulo wall-clock).
+    let capture_a = std::fs::read_to_string(&path_a).expect("read capture a");
+    let capture_b = std::fs::read_to_string(&path_b).expect("read capture b");
+    assert_eq!(
+        strip_wall_clock(&capture_a),
+        strip_wall_clock(&capture_b),
+        "trace capture must replay byte-identically"
+    );
+    let _ = std::fs::remove_file(&path_b);
+
+    // Causality: every span's parent resolves inside its trace.
+    let spans = obs::parse_spans(&capture_a).expect("capture parses");
+    assert!(
+        spans.len() as u64 >= injected,
+        "{} spans cannot cover {injected} faults",
+        spans.len()
+    );
+    let forest = obs::build_forest(&spans);
+    for tree in &forest {
+        assert!(
+            tree.orphans.is_empty(),
+            "trace {:#x} has orphan spans {:?}",
+            tree.trace,
+            tree.orphans
+        );
+    }
+    let round_tree = forest
+        .iter()
+        .find(|t| t.trace == chaos_trace_id)
+        .expect("chaos round trace present");
+    let root = round_tree
+        .spans
+        .iter()
+        .find(|s| s.parent == 0)
+        .expect("round trace has a root");
+    assert_eq!(root.name, "dist.round");
+    assert_eq!(root.fate, "settled");
+    for s in &round_tree.spans {
+        assert!(s.end >= s.start, "span {} ends before it starts", s.span);
+    }
+
+    // Fate reconciliation: the message spans account for every
+    // delivery and every drop exactly once.
+    let fate_count = |f: &str| round_tree.spans.iter().filter(|s| s.fate == f).count() as u64;
+    let msg_spans = round_tree
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("dist.msg."));
+    let stats = &untraced.stats;
+    let faults = &untraced.faults;
+    assert_eq!(
+        fate_count("delivered") + fate_count("delivered_dup") + fate_count("dead"),
+        stats.total(),
+        "delivery spans must match MessageStats"
+    );
+    assert_eq!(fate_count("delivered_dup"), stats.duplicate_delivered);
+    assert_eq!(fate_count("dropped:loss"), stats.dropped);
+    assert_eq!(fate_count("dropped:partition"), faults.partition_drops);
+    assert_eq!(fate_count("dropped:flap"), faults.flap_drops);
+    assert_eq!(fate_count("dropped:grey"), faults.grey_drops);
+    assert_eq!(fate_count("dropped:corrupt"), faults.corrupted);
+    assert_eq!(fate_count("dropped:chaos"), faults.chaos_drops);
+    // Every dist.msg.* span resolves to exactly one of the known fates.
+    for s in msg_spans {
+        assert!(
+            matches!(
+                s.fate.as_str(),
+                "delivered" | "delivered_dup" | "dead" | "expired"
+            ) || s.fate.starts_with("dropped:"),
+            "span {} has unknown fate {:?}",
+            s.span,
+            s.fate
+        );
+    }
+
+    // Marker spans mirror the liveness tallies.
+    let name_count = |n: &str| round_tree.spans.iter().filter(|s| s.name == n).count() as u64;
+    assert_eq!(name_count("dist.retry"), untraced.retries);
+    assert_eq!(name_count("dist.deposition"), untraced.depositions);
+    assert_eq!(name_count("dist.election"), untraced.elections.len() as u64);
+    let _ = std::fs::remove_file(&path_a);
+}
