@@ -1,0 +1,100 @@
+//! The scale wall: the hierarchical region planner on topologies the
+//! dense `O(N²)` pipeline cannot touch — a 100×100 grid (10k nodes)
+//! and a 100k-node connected random-geometric network.
+//!
+//! The measurement lives in [`peercache_bench::scale_cells`], shared
+//! with the `repro perf` regression gate. Besides the criterion
+//! display, the bench writes `BENCH_scale.json` at the repository root
+//! (wall times by `std::time::Instant`; the in-tree criterion stand-in
+//! does not export its measurements). Set `PEERCACHE_BENCH_QUICK=1`
+//! for a fast smoke variant that shrinks the topologies and skips the
+//! JSON, so CI smoke runs never clobber the committed numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peercache_bench::scale_cells::{
+    grid_network, measure_quality, measure_scale, render_json, rgg_network, GRID_BUDGET_MS,
+    GRID_SIDE, MIN_BYTES_RATIO, QUALITY_SIDE, RGG_BUDGET_MS, RGG_NODES, RGG_SEED, SCALE_CHUNKS,
+};
+
+fn quick_mode() -> bool {
+    std::env::var("PEERCACHE_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn scale(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (grid_side, rgg_nodes, quality_side) = if quick {
+        (20, 2_000, 10)
+    } else {
+        (GRID_SIDE, RGG_NODES, QUALITY_SIDE)
+    };
+
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+
+    let quality = measure_quality(quality_side, SCALE_CHUNKS);
+    eprintln!(
+        "quality anchor {} ({} nodes): hier/appx total = {:.4}",
+        quality.topology, quality.nodes, quality.hier_over_appx
+    );
+
+    let mut rows = Vec::new();
+    for (label, net, budget_ms) in [
+        (
+            format!("grid{grid_side}"),
+            grid_network(grid_side),
+            GRID_BUDGET_MS,
+        ),
+        (
+            format!("rgg{rgg_nodes}"),
+            rgg_network(rgg_nodes, RGG_SEED),
+            RGG_BUDGET_MS,
+        ),
+    ] {
+        let row = measure_scale(&label, &net, SCALE_CHUNKS, budget_ms);
+        eprintln!(
+            "{label} ({} nodes, Q={SCALE_CHUNKS}): {:.1} ms (budget {:.0} ms), \
+             {} regions, {} scoped bytes = {:.1}x below dense",
+            row.nodes,
+            row.plan_ms,
+            row.budget_ms,
+            row.regions,
+            row.contention_bytes,
+            row.bytes_ratio,
+        );
+        if !quick {
+            assert!(
+                row.plan_ms < row.budget_ms,
+                "{label}: {:.1} ms blows the {:.0} ms budget",
+                row.plan_ms,
+                row.budget_ms
+            );
+            assert!(
+                row.bytes_ratio >= MIN_BYTES_RATIO,
+                "{label}: scoped state only {:.1}x below dense (need {MIN_BYTES_RATIO}x)",
+                row.bytes_ratio
+            );
+        }
+        // The criterion display re-plans the smaller topology only: one
+        // 100k plan is tens of seconds and already measured above.
+        if row.nodes <= grid_side * grid_side {
+            group.bench_with_input(BenchmarkId::new("hier", row.nodes), &net, |b, net| {
+                b.iter(|| {
+                    measure_scale(&format!("{label}-iter"), net, 1, budget_ms);
+                })
+            });
+        }
+        rows.push(row);
+    }
+    group.finish();
+
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+        std::fs::write(path, render_json(&quality, &rows, SCALE_CHUNKS))
+            .expect("write BENCH_scale.json");
+        eprintln!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, scale);
+criterion_main!(benches);

@@ -14,13 +14,15 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scale;
 
 use crate::harness::Table;
 
-/// Figure ids in paper order, plus the `churn` and `chaos` extension
-/// tables.
-pub const ALL: [&str; 11] = [
+/// Figure ids in paper order, plus the `churn`, `chaos`, and `scale`
+/// extension tables.
+pub const ALL: [&str; 12] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "churn", "chaos",
+    "scale",
 ];
 
 /// Dispatches a figure by id.
@@ -41,6 +43,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "fig9" => fig9::run(),
         "churn" => churn::run(),
         "chaos" => chaos::run(),
+        "scale" => scale::run(),
         other => panic!("unknown figure id: {other}"),
     }
 }

@@ -26,4 +26,5 @@ pub mod harness;
 pub mod perf;
 pub mod planning_cells;
 pub mod repro;
+pub mod scale_cells;
 pub mod trace_cmd;

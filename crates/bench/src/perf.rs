@@ -1,9 +1,9 @@
 //! `repro perf [--check]` — the perf-regression gate.
 //!
-//! Re-measures the three committed baselines (`BENCH_planning.json`,
-//! `BENCH_churn.json`, `BENCH_chaos.json`) through the same shared
-//! cell modules the criterion benches use, then diffs fresh against
-//! committed field by field:
+//! Re-measures the four committed baselines (`BENCH_planning.json`,
+//! `BENCH_churn.json`, `BENCH_chaos.json`, `BENCH_scale.json`) through
+//! the same shared cell modules the criterion benches use, then diffs
+//! fresh against committed field by field:
 //!
 //! * **wall-time fields** (`*_ms`, `*_wall*`, `*speedup*`) get a
 //!   generous ratio band — they vary with the machine; the gate only
@@ -19,7 +19,7 @@
 
 use peercache_obs::Json;
 
-use crate::{chaos_cells, churn_cells, planning_cells};
+use crate::{chaos_cells, churn_cells, planning_cells, scale_cells};
 
 /// Default multiplicative band for wall-time fields: fresh must lie in
 /// `[committed / band, committed * band]`.
@@ -165,8 +165,8 @@ pub struct Baseline {
     pub fresh: fn() -> String,
 }
 
-/// The three gated baselines.
-pub const BASELINES: [Baseline; 3] = [
+/// The four gated baselines.
+pub const BASELINES: [Baseline; 4] = [
     Baseline {
         file: "BENCH_planning.json",
         fresh: || {
@@ -193,6 +193,28 @@ pub const BASELINES: [Baseline; 3] = [
     Baseline {
         file: "BENCH_chaos.json",
         fresh: || chaos_cells::render_json(&chaos_cells::run_matrix()),
+    },
+    Baseline {
+        file: "BENCH_scale.json",
+        fresh: || {
+            let quality =
+                scale_cells::measure_quality(scale_cells::QUALITY_SIDE, scale_cells::SCALE_CHUNKS);
+            let rows = vec![
+                scale_cells::measure_scale(
+                    &format!("grid{}", scale_cells::GRID_SIDE),
+                    &scale_cells::grid_network(scale_cells::GRID_SIDE),
+                    scale_cells::SCALE_CHUNKS,
+                    scale_cells::GRID_BUDGET_MS,
+                ),
+                scale_cells::measure_scale(
+                    &format!("rgg{}", scale_cells::RGG_NODES),
+                    &scale_cells::rgg_network(scale_cells::RGG_NODES, scale_cells::RGG_SEED),
+                    scale_cells::SCALE_CHUNKS,
+                    scale_cells::RGG_BUDGET_MS,
+                ),
+            ];
+            scale_cells::render_json(&quality, &rows, scale_cells::SCALE_CHUNKS)
+        },
     },
 ];
 

@@ -35,7 +35,7 @@ use peercache_graph::paths::{Parallelism, PathSelection};
 use peercache_graph::NodeId;
 
 use crate::costs::{ContentionMatrix, CostWeights};
-use crate::instance::ConflInstance;
+use crate::instance::{ConflCosts, ConflInstance};
 use crate::placement::Placement;
 use peercache_obs as obs;
 
@@ -96,7 +96,7 @@ impl Default for ApproxConfig {
 }
 
 impl ApproxConfig {
-    fn validate(&self) -> Result<(), CoreError> {
+    pub(crate) fn validate(&self) -> Result<(), CoreError> {
         for (name, v) in [
             ("u_alpha", self.u_alpha),
             ("u_beta", self.u_beta),
@@ -157,6 +157,29 @@ pub fn dual_ascent(
         crate::strict::check_dual_solution(inst, cfg, &result.0);
         Ok(result)
     }
+}
+
+/// Runs the event-driven dual ascent over any [`ConflCosts`] view —
+/// the entry point the hierarchical planner uses for its per-region
+/// sub-instances backed by [`crate::scoped::ScopedContention`].
+///
+/// Identical algorithm and tie-breaks as the fast path of
+/// [`dual_ascent`]; with `strict-invariants` enabled the reference
+/// replay oracle is armed against the same view.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-positive increments
+/// and propagates internal failures.
+pub fn dual_ascent_scoped<V: ConflCosts>(
+    view: &V,
+    cfg: &ApproxConfig,
+) -> Result<(Vec<NodeId>, DualAscentStats), CoreError> {
+    cfg.validate()?;
+    let result = dual_ascent_fast(view, cfg)?;
+    #[cfg(feature = "strict-invariants")]
+    crate::strict::check_dual_solution(view, cfg, &result.0);
+    Ok(result)
 }
 
 /// The original fixed-increment round loop, kept verbatim as the oracle
@@ -384,8 +407,8 @@ fn tight_round_of(c: f64, u_alpha: f64) -> Option<u64> {
 ///    the skipped rounds' β/γ contributions. The bounds are
 ///    conservative lower bounds: undershooting just executes a few
 ///    exact (cheap) rounds; events themselves always run exactly.
-fn dual_ascent_fast(
-    inst: &ConflInstance,
+fn dual_ascent_fast<V: ConflCosts>(
+    inst: &V,
     cfg: &ApproxConfig,
 ) -> Result<(Vec<NodeId>, DualAscentStats), CoreError> {
     let producer = inst.producer();

@@ -140,7 +140,7 @@ impl ConflInstance {
         })
     }
 
-    fn facility_costs(net: &Network, weights: CostWeights) -> Vec<f64> {
+    pub(crate) fn facility_costs(net: &Network, weights: CostWeights) -> Vec<f64> {
         net.graph()
             .nodes()
             .map(|i| {
@@ -302,6 +302,66 @@ impl ConflInstance {
             dissemination: self.weights.dissemination * tree.cost,
         };
         Ok((costs, assignment, tree.edges))
+    }
+}
+
+/// The cost surface the dual ascent consumes — exactly the six queries
+/// [`crate::approx::dual_ascent`] makes against an instance.
+///
+/// [`ConflInstance`] implements it over the dense [`ContentionMatrix`];
+/// the scoped planner implements it over
+/// [`crate::scoped::ScopedContention`] (exact inside region blocks,
+/// landmark estimates across), so the *same* event-driven ascent runs
+/// unchanged on either substrate.
+///
+/// Dual state is indexed by raw node id, so [`ConflCosts::node_count`]
+/// must report the ambient graph's node count even when `clients` and
+/// `candidates` are restricted to a region.
+pub trait ConflCosts {
+    /// Number of nodes in the ambient graph.
+    fn node_count(&self) -> usize;
+    /// The producer (pre-opened root facility).
+    fn producer(&self) -> NodeId;
+    /// The ConFL clients (a chunk's audience), sorted.
+    fn clients(&self) -> &[NodeId];
+    /// Nodes that may open as facilities (finite cost), sorted by id.
+    fn candidates(&self) -> Vec<NodeId>;
+    /// Facility opening cost `f_i` (already fairness-weighted).
+    fn facility_cost(&self, i: NodeId) -> f64;
+    /// Connection cost of client `j` to facility `i` (contention
+    /// weighted).
+    fn connection_cost(&self, i: NodeId, j: NodeId) -> f64;
+    /// The cost weights of the instance.
+    fn weights(&self) -> CostWeights;
+}
+
+impl ConflCosts for ConflInstance {
+    fn node_count(&self) -> usize {
+        ConflInstance::node_count(self)
+    }
+
+    fn producer(&self) -> NodeId {
+        ConflInstance::producer(self)
+    }
+
+    fn clients(&self) -> &[NodeId] {
+        ConflInstance::clients(self)
+    }
+
+    fn candidates(&self) -> Vec<NodeId> {
+        ConflInstance::candidates(self)
+    }
+
+    fn facility_cost(&self, i: NodeId) -> f64 {
+        ConflInstance::facility_cost(self, i)
+    }
+
+    fn connection_cost(&self, i: NodeId, j: NodeId) -> f64 {
+        ConflInstance::connection_cost(self, i, j)
+    }
+
+    fn weights(&self) -> CostWeights {
+        ConflInstance::weights(self)
     }
 }
 

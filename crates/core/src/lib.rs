@@ -22,6 +22,9 @@
 //!   with the paper's multi-item subgraph extension ([`baselines`]);
 //! * the **evaluation metrics** — total/per-chunk contention cost,
 //!   p-percentile fairness and the Gini coefficient ([`metrics`]);
+//! * the **locality stack** — k-hop-scoped contention blocks, landmark
+//!   distance estimates, and the hierarchical region planner that plans
+//!   10k–100k-node networks without the `O(N²)` matrix ([`scoped`]);
 //! * **workload generation** for the evaluation scenarios
 //!   ([`workload`]);
 //! * the **churn-aware world layer** — a typed event stream over a
@@ -61,6 +64,7 @@ pub mod online;
 pub mod placement;
 pub mod planner;
 pub mod report;
+pub mod scoped;
 #[cfg(feature = "strict-invariants")]
 pub mod strict;
 pub mod workload;

@@ -32,7 +32,6 @@ use peercache_graph::NodeId;
 
 use crate::approx::ApproxConfig;
 use crate::costs::ContentionMatrix;
-use crate::instance::ConflInstance;
 use crate::placement::ChunkPlacement;
 use crate::Network;
 
@@ -60,7 +59,11 @@ const DUAL_EPS: f64 = 1e-9;
 ///
 /// Panics on any violated invariant, on non-convergence, and when
 /// `facilities` differs from the reference opened set.
-pub fn check_dual_solution(inst: &ConflInstance, cfg: &ApproxConfig, facilities: &[NodeId]) {
+pub fn check_dual_solution<V: crate::instance::ConflCosts>(
+    inst: &V,
+    cfg: &ApproxConfig,
+    facilities: &[NodeId],
+) {
     let n = inst.node_count();
     let producer = inst.producer();
     let clients: Vec<NodeId> = inst.clients().to_vec();

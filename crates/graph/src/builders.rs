@@ -132,6 +132,107 @@ pub fn random_geometric<R: Rng + ?Sized>(n: usize, range: f64, rng: &mut R) -> G
     g
 }
 
+/// Builds a connected random geometric network with spatial bucketing —
+/// the same model as [`random_geometric`] (identical positions for the
+/// same RNG stream and identical edge set), but neighbor search goes
+/// through a `range`-sized cell grid instead of the O(n²) pair scan, so
+/// 100k-node instances build in well under a second.
+///
+/// Connectivity repair differs from the dense builder's (it links each
+/// stray component to the geometrically nearest node of the largest
+/// component rather than re-scanning all pairs), so the *repair* edges
+/// can differ when the raw graph is disconnected; with a sensible
+/// `range` the raw graph is connected and the two builders agree edge
+/// for edge.
+pub fn random_geometric_bucketed<R: Rng + ?Sized>(n: usize, range: f64, rng: &mut R) -> Graph {
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let mut g = Graph::new(n);
+    if n == 0 {
+        return g;
+    }
+    let range = range.max(f64::MIN_POSITIVE);
+    let range2 = range * range;
+    let cells_per_side = (1.0 / range).floor().max(1.0) as u32;
+    let cell_of = |p: (f64, f64)| -> (u32, u32) {
+        let clamp = |x: f64| ((x * cells_per_side as f64) as u32).min(cells_per_side - 1);
+        (clamp(p.0), clamp(p.1))
+    };
+    // BTreeMap keeps the bucket walk deterministic (lint rule D1).
+    let mut buckets: std::collections::BTreeMap<(u32, u32), Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for (i, &p) in positions.iter().enumerate() {
+        buckets.entry(cell_of(p)).or_default().push(i as u32);
+    }
+    for u in 0..n {
+        let (cx, cy) = cell_of(positions[u]);
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
+                    continue;
+                }
+                let Some(cell) = buckets.get(&(nx as u32, ny as u32)) else {
+                    continue;
+                };
+                for &v in cell {
+                    let v = v as usize;
+                    if v > u && dist2(positions[u], positions[v]) <= range2 {
+                        g.add_edge(NodeId::new(u), NodeId::new(v))
+                            .expect("geometric edges are in bounds");
+                    }
+                }
+            }
+        }
+    }
+    // Repair: attach every stray component to the geometrically nearest
+    // node of the largest component (ties toward smaller ids). Linear
+    // in n per stray component — strays are rare at sensible ranges.
+    let comps = components::connected_components(&g);
+    if comps.len() > 1 {
+        let main_idx = comps
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (c.len(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut in_main = vec![false; n];
+        for &m in &comps[main_idx] {
+            in_main[m.index()] = true;
+        }
+        for (ci, comp) in comps.iter().enumerate() {
+            if ci == main_idx {
+                continue;
+            }
+            let mut best: Option<(f64, NodeId, NodeId)> = None;
+            for &u in comp {
+                for v in (0..n).map(NodeId::new).filter(|v| in_main[v.index()]) {
+                    let d = dist2(positions[u.index()], positions[v.index()]);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bu, bv)) => match d.total_cmp(&bd) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => (u, v) < (bu, bv),
+                            std::cmp::Ordering::Greater => false,
+                        },
+                    };
+                    if better {
+                        best = Some((d, u, v));
+                    }
+                }
+            }
+            let (_, u, v) = best.expect("main component is non-empty");
+            g.add_edge(u, v).expect("repair edge is in bounds");
+            for &m in comp {
+                in_main[m.index()] = true;
+            }
+        }
+    }
+    g
+}
+
 /// Builds a connected Erdős–Rényi graph `G(n, p)`.
 ///
 /// Used for stress-testing the planners on irregular topologies. As with
@@ -259,6 +360,24 @@ mod tests {
         let g = random_geometric(10, 2.0, &mut rng);
         // Range 2.0 covers the whole unit square: complete graph.
         assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn bucketed_geometric_matches_dense_builder() {
+        // Same RNG stream → same positions; connected raw graph → the
+        // two neighbor searches must produce the identical edge set.
+        let dense = random_geometric(60, 0.25, &mut ChaCha8Rng::seed_from_u64(11));
+        let bucketed = random_geometric_bucketed(60, 0.25, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(dense, bucketed);
+    }
+
+    #[test]
+    fn bucketed_geometric_repairs_connectivity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = random_geometric_bucketed(40, 0.01, &mut rng);
+        assert_eq!(g.node_count(), 40);
+        assert!(is_connected(&g));
+        assert!(random_geometric_bucketed(0, 0.1, &mut rng).node_count() == 0);
     }
 
     #[test]

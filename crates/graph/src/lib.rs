@@ -17,6 +17,12 @@
 //! * [`components`] — connectivity queries and largest-component
 //!   extraction (used by the paper's multi-item baseline extension).
 //! * [`mst`] — minimum spanning trees (Kruskal and Prim).
+//! * [`oracle`] — seeded landmark distance oracle with
+//!   triangle-inequality bounds and a k-hop-ball exact fallback (the
+//!   O(L·N) substitute for all-pairs state at scale).
+//! * [`regions`] — deterministic bounded-size region partitioning with
+//!   border sets and k-hop halos (the hierarchical planner's
+//!   decomposition).
 //! * [`steiner`] — a metric-closure 2-approximation of the Steiner tree
 //!   (the dissemination-tree phase of the approximation algorithm).
 //! * [`export`] — DOT / CSV serialization for debugging and plotting.
@@ -46,7 +52,9 @@ pub mod builders;
 pub mod components;
 pub mod export;
 pub mod mst;
+pub mod oracle;
 pub mod paths;
+pub mod regions;
 pub mod steiner;
 
 pub use error::GraphError;

@@ -3,9 +3,11 @@
 use proptest::prelude::*;
 
 use peercache_graph::mst::{kruskal, prim, UnionFind};
+use peercache_graph::oracle::LandmarkOracle;
 use peercache_graph::paths::{
     bfs_hops, dijkstra_edge_weighted, k_hop_neighborhood, AllPairsPaths, Parallelism, PathSelection,
 };
+use peercache_graph::regions::RegionPartition;
 use peercache_graph::{analysis, builders, components, steiner, Graph, NodeId};
 
 fn connected_graph() -> impl Strategy<Value = Graph> {
@@ -199,6 +201,111 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn landmark_bounds_bracket_all_pairs_cost(
+        g in connected_graph(),
+        count in 1usize..8,
+        seed in 0u64..64,
+    ) {
+        // Bounds bracket the MinCost metric exactly; under FewestHops
+        // (the planners' selection) the lower bound still holds.
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + (n.index() % 5) as f64 * 0.5).collect();
+        let min_cost =
+            AllPairsPaths::compute(&g, &costs, PathSelection::MinCost).unwrap();
+        let fewest =
+            AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        let oracle = LandmarkOracle::build(&g, &costs, count, seed).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let exact = min_cost.cost(u, v);
+                let (lo, hi) = (oracle.lower_bound(u, v), oracle.upper_bound(u, v));
+                prop_assert!(lo <= exact + 1e-9, "lower bound broken at ({u},{v})");
+                prop_assert!(exact <= hi + 1e-9, "upper bound broken at ({u},{v})");
+                prop_assert!(lo <= fewest.cost(u, v) + 1e-9,
+                    "FewestHops lower bound broken at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_bounds_tighten_monotonically(
+        g in connected_graph(),
+        seed in 0u64..64,
+    ) {
+        // Farthest-point selection is prefix-stable, so more landmarks
+        // can only shrink the bracket.
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + (n.index() % 3) as f64).collect();
+        let small = LandmarkOracle::build(&g, &costs, 2, seed).unwrap();
+        let large = LandmarkOracle::build(&g, &costs, 6, seed).unwrap();
+        prop_assert_eq!(small.landmarks(), &large.landmarks()[..small.landmarks().len()]);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert!(large.lower_bound(u, v) >= small.lower_bound(u, v) - 1e-12);
+                prop_assert!(large.upper_bound(u, v) <= small.upper_bound(u, v) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_oracle_is_deterministic_across_replay(
+        g in connected_graph(),
+        count in 1usize..6,
+        seed in 0u64..64,
+    ) {
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + g.degree(n) as f64).collect();
+        let a = LandmarkOracle::build(&g, &costs, count, seed).unwrap();
+        let b = LandmarkOracle::build(&g, &costs, count, seed).unwrap();
+        prop_assert_eq!(a.landmarks(), b.landmarks());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(a.lower_bound(u, v).to_bits(), b.lower_bound(u, v).to_bits());
+                prop_assert_eq!(a.upper_bound(u, v).to_bits(), b.upper_bound(u, v).to_bits());
+                prop_assert_eq!(a.hops_lower(u, v), b.hops_lower(u, v));
+                prop_assert_eq!(a.hops_upper(u, v), b.hops_upper(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn ball_fallback_is_exact_inside_and_absent_outside(
+        g in connected_graph(),
+        k in 1u32..4,
+    ) {
+        let costs: Vec<f64> = g.nodes().map(|n| 1.0 + (n.index() % 4) as f64).collect();
+        let ap = AllPairsPaths::compute(&g, &costs, PathSelection::FewestHops).unwrap();
+        for u in g.nodes().take(6) {
+            for v in g.nodes() {
+                let got = LandmarkOracle::exact_in_ball(&g, &costs, u, v, k);
+                match ap.hops(u, v) {
+                    Some(h) if h <= k => {
+                        prop_assert_eq!(got.unwrap().to_bits(), ap.cost(u, v).to_bits());
+                    }
+                    _ => prop_assert!(got.is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_partition_covers_and_bounds(
+        g in connected_graph(),
+        max_size in 2usize..16,
+        seed in 0u64..64,
+    ) {
+        let p = RegionPartition::grow(&g, max_size, seed);
+        let mut seen = vec![false; g.node_count()];
+        for r in 0..p.region_count() {
+            prop_assert!(p.region(r).len() <= max_size);
+            prop_assert!(components::is_connected_subset(&g, p.region(r)));
+            for &u in p.region(r) {
+                prop_assert!(!seen[u.index()]);
+                seen[u.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(p.clone(), RegionPartition::grow(&g, max_size, seed));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `peercache-lint`: zero-dependency domain-rule linter for the workspace.
 //!
-//! Enforces five invariants that the repo's headline guarantees (byte-identical
+//! Enforces six invariants that the repo's headline guarantees (byte-identical
 //! replans, deterministic churn replays, panic-free distributed bidding, a
-//! closed observability vocabulary) rest on:
+//! closed observability vocabulary, sub-quadratic planning) rest on:
 //!
 //! | Rule | Statement | Scope |
 //! |------|-----------|-------|
@@ -11,6 +11,7 @@
 //! | P1 | no `unwrap`/`expect`/`panic!`-family macros | `crates/dist/src/**`, `core::world` |
 //! | N1 | no direct `==`/`!=` on cost-valued f64 | `core`, `dist`, `graph` (helpers in `core::costs` exempt) |
 //! | O1 | `obs::span!`/`event!`/counter/gauge/histogram/`TimeSeries` names must be string literals registered in `obs::names` | everywhere except `obs`, `lint` |
+//! | S1 | no `AllPairsPaths::compute`/`compute_with` call sites | everywhere except `graph::paths`, `graph::oracle`, `core::costs`, `core::scoped` |
 //!
 //! The pass is token-level (no `syn`, no network): comments, strings, and
 //! test-only regions never fire. Violations are suppressed only through the

@@ -1,4 +1,4 @@
-//! Domain rules D1/D2/P1/N1/O1 over the token stream.
+//! Domain rules D1/D2/P1/N1/O1/S1 over the token stream.
 //!
 //! Each rule is scoped by crate name or file path; scope decisions are
 //! documented on the rule itself. All rules skip test-only regions
@@ -10,7 +10,7 @@ use crate::lexer::{Tok, TokKind};
 /// A single rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule identifier: `"D1"`, `"D2"`, `"P1"`, `"N1"`, or `"O1"`.
+    /// Rule identifier: `"D1"`, `"D2"`, `"P1"`, `"N1"`, `"O1"`, or `"S1"`.
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub file: String,
@@ -52,6 +52,17 @@ const N1_EXEMPT_FILE: &str = "crates/core/src/costs.rs";
 /// primitives themselves (its docs and demos use scratch names), and
 /// `lint` quotes observability names in its own fixtures.
 const O1_EXEMPT_CRATES: &[&str] = &["obs", "lint"];
+/// The sanctioned `AllPairsPaths::compute` call sites for rule S1: the
+/// definition and its incremental-update internals, the landmark
+/// oracle's exact-in-ball fallback, the dense reference matrix, and the
+/// scoped store's bounded per-block computes. Anywhere else, a dense
+/// all-pairs compute is the `O(N²)` wall creeping back in.
+const S1_ALLOWED_FILES: &[&str] = &[
+    "crates/graph/src/paths.rs",
+    "crates/graph/src/oracle.rs",
+    "crates/core/src/costs.rs",
+    "crates/core/src/scoped.rs",
+];
 
 /// The closed vocabulary of observability names for rule O1, built from
 /// the string literals in `crates/obs/src/names.rs`.
@@ -132,6 +143,7 @@ pub fn check_tokens(
     let p1 = is_p1_scope(rel_path);
     let n1 = N1_CRATES.contains(&crate_name) && rel_path != N1_EXEMPT_FILE;
     let o1 = registry.filter(|_| !O1_EXEMPT_CRATES.contains(&crate_name));
+    let s1 = crate_name != "lint" && !S1_ALLOWED_FILES.contains(&rel_path);
 
     for (i, tok) in toks.iter().enumerate() {
         if in_test[i] {
@@ -189,6 +201,17 @@ pub fn check_tokens(
                             ),
                         );
                     }
+                }
+                if s1 && id == "AllPairsPaths" && s1_is_compute_call(toks, i) {
+                    push(
+                        "S1",
+                        tok.line,
+                        "dense `AllPairsPaths::compute` outside the sanctioned files; \
+                         it is `O(N²)` in the ambient graph — use the scoped contention \
+                         store / landmark oracle, or compute on a bounded induced \
+                         subgraph inside an allowed module"
+                            .to_string(),
+                    );
                 }
                 if let Some(reg) = o1 {
                     if let Some(slot) = o1_name_slot(toks, i) {
@@ -262,6 +285,21 @@ fn o1_name_slot(toks: &[Tok], i: usize) -> Option<usize> {
         },
         _ => None,
     }
+}
+
+/// For S1: does the `AllPairsPaths` identifier at `i` open a
+/// `AllPairsPaths::compute(` or `AllPairsPaths::compute_with(` call?
+/// Doc references and type positions (`-> AllPairsPaths`) never match.
+fn s1_is_compute_call(toks: &[Tok], i: usize) -> bool {
+    let punct = |j: usize, c: char| matches!(toks.get(j), Some(t) if t.kind == TokKind::Punct(c));
+    let method = match toks.get(i + 3).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => s.as_str(),
+        _ => return false,
+    };
+    punct(i + 1, ':')
+        && punct(i + 2, ':')
+        && matches!(method, "compute" | "compute_with")
+        && punct(i + 4, '(')
 }
 
 /// Heuristic for N1: does the `==`/`!=` at token index `op` compare

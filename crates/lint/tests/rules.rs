@@ -125,6 +125,62 @@ fn n1_exempts_the_helper_module() {
 }
 
 #[test]
+fn s1_fires_on_dense_apsp_outside_the_allowed_files() {
+    let v = lint_source(
+        "core",
+        "crates/core/src/planner.rs",
+        &fixture("s1_dense_apsp.rs"),
+    );
+    assert_eq!(rules_fired(&v), ["S1"]);
+    assert_eq!(
+        v.len(),
+        2,
+        "compute and compute_with call sites; doc links and cfg(test) \
+         regions stay quiet: {v:#?}"
+    );
+}
+
+#[test]
+fn s1_exempts_the_sanctioned_files() {
+    for (crate_name, path) in [
+        ("graph", "crates/graph/src/paths.rs"),
+        ("graph", "crates/graph/src/oracle.rs"),
+        ("core", "crates/core/src/costs.rs"),
+        ("core", "crates/core/src/scoped.rs"),
+    ] {
+        let v = lint_source(crate_name, path, &fixture("s1_dense_apsp.rs"));
+        assert!(
+            !v.iter().any(|x| x.rule == "S1"),
+            "S1 must not fire in {path}: {v:#?}"
+        );
+    }
+}
+
+#[test]
+fn s1_violations_are_waivable_by_snippet() {
+    let violations = lint_source(
+        "dist",
+        "crates/dist/src/view.rs",
+        &fixture("s1_dense_apsp.rs"),
+    );
+    let s1_count = violations.iter().filter(|v| v.rule == "S1").count();
+    assert_eq!(s1_count, 2);
+    let waivers = parse_waivers(
+        r#"
+[[waiver]]
+rule = "S1"
+file = "crates/dist/src/view.rs"
+contains = "AllPairsPaths::compute(g, costs"
+justification = "fixture: bounded-subgraph compute, deliberately waived"
+"#,
+    )
+    .unwrap();
+    let report = apply_waivers(violations, &waivers);
+    assert_eq!(report.waived, 1);
+    assert!(report.unused.is_empty());
+}
+
+#[test]
 fn clean_code_passes_everywhere() {
     for (crate_name, path) in [
         ("core", "crates/core/src/world.rs"),

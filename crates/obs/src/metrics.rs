@@ -407,4 +407,31 @@ mod tests {
         counter("test.confused");
         gauge("test.confused");
     }
+
+    #[test]
+    fn scale_gauges_are_registered_and_hold_extreme_byte_counts() {
+        // The scale planner reports state sizes through these gauges;
+        // the names must be in the O1 registry and the handles must
+        // survive the full i64 range (contention-state byte counts are
+        // u64-sized upstream and clamped by the caller).
+        for n in [
+            "planner.contention_bytes",
+            "planner.region_count",
+            "planner.scale",
+            "bench.scale",
+        ] {
+            assert!(crate::names::is_registered(n), "{n} missing from registry");
+        }
+        let g = gauge("planner.contention_bytes");
+        g.set(i64::MAX);
+        assert_eq!(g.get(), i64::MAX);
+        g.set(i64::MIN);
+        assert_eq!(g.get(), i64::MIN);
+        g.set(0);
+        let r = gauge("planner.region_count");
+        r.set(0);
+        r.add(3);
+        r.add(-3);
+        assert_eq!(r.get(), 0);
+    }
 }

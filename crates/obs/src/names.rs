@@ -16,6 +16,7 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "apsp.update",
     "apsp.update_topology",
     "bench.run",
+    "bench.scale",
     "bench.walltime_by_size",
     "core.dual_ascent",
     "dist.degraded_clients",
@@ -51,6 +52,9 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "online.insert",
     "online.retire",
     "planner.chunk",
+    "planner.contention_bytes",
+    "planner.region_count",
+    "planner.scale",
     "repro.figure",
     "repro.perf",
     "repro.trace",

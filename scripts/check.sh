@@ -40,6 +40,9 @@ if [[ $fast -eq 0 ]]; then
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench planning_hot_path
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench churn_trace
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench chaos_matrix
+    # Scale smoke: the hierarchical planner on shrunken topologies
+    # (full grid100/rgg100k rows are re-measured by the perf gate).
+    run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench scale
     # Perf-regression gate: re-runs the benches fresh and diffs the
     # structural counters (exact) and wall-clock numbers (tolerance
     # band, see PEERCACHE_PERF_TOL) against the committed BENCH_*.json.

@@ -41,7 +41,7 @@
 #![warn(missing_docs)]
 
 pub use peercache_core::{
-    approx, baselines, costs, exact, instance, metrics, online, placement, planner, report,
+    approx, baselines, costs, exact, instance, metrics, online, placement, planner, report, scoped,
     workload, world, ChunkId, CoreError, Network, PartitionPolicy,
 };
 pub use peercache_dist as dist;

@@ -1,0 +1,146 @@
+//! The hierarchical region planner against the dense pipeline: on
+//! grids small enough for the full `O(N²)` matrix, the locality stack
+//! (k-hop-scoped contention blocks + landmark estimates + per-region
+//! ascent) must land within 10% of the dense Appx total, stay
+//! byte-identical across runs and thread counts, and keep every
+//! placement invariant the dense planner guarantees.
+
+use peercache::approx::{ApproxConfig, ApproxPlanner};
+use peercache::graph::paths::Parallelism;
+use peercache::planner::CachePlanner;
+use peercache::prelude::*;
+use peercache::scoped::{HierarchicalPlanner, ScopedConfig};
+
+/// Forced multi-region configurations: region caps well below the node
+/// count so the planner genuinely stitches across borders.
+fn scoped_configs(side: usize) -> Vec<ScopedConfig> {
+    let nodes = side * side;
+    [nodes / 12, nodes / 6]
+        .into_iter()
+        .map(|cap| ScopedConfig {
+            region_max: cap.max(8),
+            ..ScopedConfig::default()
+        })
+        .collect()
+}
+
+fn hier_planner(cfg: ScopedConfig) -> HierarchicalPlanner {
+    HierarchicalPlanner::new(ApproxConfig::default(), cfg)
+}
+
+fn plan_with(planner: &dyn CachePlanner, net: &Network, chunks: usize) -> Placement {
+    let mut copy = net.clone();
+    planner.plan(&mut copy, chunks).expect("planner succeeds")
+}
+
+#[test]
+fn hierarchical_total_stays_within_ten_percent_of_dense_appx() {
+    for side in [10usize, 20] {
+        let net = paper_grid(side).unwrap();
+        let chunks = 4;
+        let dense = plan_with(&ApproxPlanner::default(), &net, chunks);
+        let dense_total = dense.total_costs().total();
+        for cfg in scoped_configs(side) {
+            let hier = plan_with(&hier_planner(cfg), &net, chunks);
+            let ratio = hier.total_costs().total() / dense_total;
+            assert!(
+                ratio <= 1.10 + 1e-9,
+                "grid{side} region_max={}: hier/dense = {ratio:.4} exceeds 1.10",
+                cfg.region_max
+            );
+            assert!(
+                ratio >= 0.5,
+                "grid{side} region_max={}: hier implausibly beat dense 2x ({ratio:.4})",
+                cfg.region_max
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchical_replay_is_byte_identical_across_runs_and_threads() {
+    let net = paper_grid(12).unwrap();
+    let chunks = 3;
+    let cfg = ScopedConfig {
+        region_max: 24,
+        ..ScopedConfig::default()
+    };
+    let reference = plan_with(&hier_planner(cfg), &net, chunks);
+    let reference_bytes = format!("{reference:?}");
+    for parallelism in [
+        Parallelism::Sequential,
+        Parallelism::Threads(2),
+        Parallelism::Threads(7),
+        Parallelism::Auto,
+    ] {
+        let planner = HierarchicalPlanner::new(
+            ApproxConfig {
+                parallelism,
+                ..ApproxConfig::default()
+            },
+            cfg,
+        );
+        let replay = plan_with(&planner, &net, chunks);
+        assert_eq!(
+            format!("{replay:?}"),
+            reference_bytes,
+            "{parallelism:?} diverged from the reference plan"
+        );
+        assert_eq!(
+            replay.total_costs().total().to_bits(),
+            reference.total_costs().total().to_bits()
+        );
+    }
+}
+
+#[test]
+fn hierarchical_placements_respect_capacity_and_serve_every_client() {
+    let net = paper_grid(15).unwrap();
+    let chunks = 5;
+    for cfg in scoped_configs(15) {
+        let mut copy = net.clone();
+        let placement = hier_planner(cfg)
+            .plan(&mut copy, chunks)
+            .expect("planner succeeds");
+        assert_eq!(placement.chunks().len(), chunks);
+        for node in copy.clients() {
+            assert!(
+                copy.used(node) <= copy.capacity(node),
+                "node {node} over capacity"
+            );
+        }
+        for cp in placement.chunks() {
+            // Every interested client is assigned to the producer or an
+            // actual cache of this chunk.
+            for &(client, provider) in &cp.assignment {
+                assert!(
+                    provider == copy.producer() || cp.caches.contains(&provider),
+                    "client {client} assigned to non-cache {provider}"
+                );
+            }
+            // The dissemination tree touches every cache.
+            let mut on_tree: Vec<NodeId> = cp.tree_edges.iter().map(|&(c, _)| c).collect();
+            on_tree.push(copy.producer());
+            for &cache in &cp.caches {
+                assert!(
+                    on_tree.contains(&cache),
+                    "cache {cache} not reached by the dissemination tree"
+                );
+            }
+        }
+    }
+}
+
+/// With the oracles armed, every per-region dual ascent re-verifies its
+/// dual solution and every commit checks Steiner connectivity; a plan
+/// that completes under this feature certifies the scoped path end to
+/// end.
+#[cfg(feature = "strict-invariants")]
+#[test]
+fn strict_oracles_hold_on_the_scoped_path() {
+    let net = paper_grid(14).unwrap();
+    for cfg in scoped_configs(14) {
+        let placement = plan_with(&hier_planner(cfg), &net, 4);
+        assert!(placement.total_costs().total().is_finite());
+    }
+}
