@@ -1,0 +1,61 @@
+//! The shard thread sweep: one region-sharded world per thread setting
+//! consumes the same seeded churn trace; every setting must end on the
+//! bit-identical state digest (asserted inside the sweep), and the wall
+//! times show what the fan-out buys on this host.
+//!
+//! The measurement lives in [`peercache_bench::shard_cells`], shared
+//! with `repro shard` and the `repro perf` regression gate. Besides the
+//! criterion display, the bench writes `BENCH_shard.json` at the
+//! repository root. Set `PEERCACHE_BENCH_QUICK=1` for a fast smoke
+//! variant that shrinks the grid and skips the JSON, so CI smoke runs
+//! never clobber the committed numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use peercache_bench::shard_cells::{
+    measure_threads, render_json, run_sweep, speedup_8x, GRID_SIDE, TICKS,
+};
+
+fn quick_mode() -> bool {
+    std::env::var("PEERCACHE_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn shard(c: &mut Criterion) {
+    let quick = quick_mode();
+    let (side, ticks) = if quick { (20, 2) } else { (GRID_SIDE, TICKS) };
+
+    let rows = run_sweep(side, ticks);
+    for r in &rows {
+        eprintln!(
+            "grid{side} x{ticks} ticks, threads={}: {:.1} ms \
+             (digest {:#018x}, {} shards, {} cross-shard events)",
+            r.threads, r.wall_ms, r.digest, r.shards, r.cross_shard_events
+        );
+    }
+    eprintln!("speedup 1->8 threads: {:.2}x", speedup_8x(&rows));
+
+    // Criterion display: re-run the single-thread and max-thread
+    // settings on the small grid only (one full-size sweep is seconds
+    // and already measured above).
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("churn_ticks", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| measure_threads(12, 2, threads));
+            },
+        );
+    }
+    group.finish();
+
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+        std::fs::write(path, render_json(side, ticks, &rows)).expect("write BENCH_shard.json");
+        eprintln!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, shard);
+criterion_main!(benches);

@@ -15,14 +15,15 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scale;
+pub mod shard;
 
 use crate::harness::Table;
 
-/// Figure ids in paper order, plus the `churn`, `chaos`, and `scale`
-/// extension tables.
-pub const ALL: [&str; 12] = [
+/// Figure ids in paper order, plus the `churn`, `chaos`, `scale`, and
+/// `shard` extension tables.
+pub const ALL: [&str; 13] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "churn", "chaos",
-    "scale",
+    "scale", "shard",
 ];
 
 /// Dispatches a figure by id.
@@ -44,6 +45,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "churn" => churn::run(),
         "chaos" => chaos::run(),
         "scale" => scale::run(),
+        "shard" => shard::run(),
         other => panic!("unknown figure id: {other}"),
     }
 }

@@ -27,4 +27,5 @@ pub mod perf;
 pub mod planning_cells;
 pub mod repro;
 pub mod scale_cells;
+pub mod shard_cells;
 pub mod trace_cmd;

@@ -1,9 +1,10 @@
 //! `repro perf [--check]` — the perf-regression gate.
 //!
-//! Re-measures the four committed baselines (`BENCH_planning.json`,
-//! `BENCH_churn.json`, `BENCH_chaos.json`, `BENCH_scale.json`) through
-//! the same shared cell modules the criterion benches use, then diffs
-//! fresh against committed field by field:
+//! Re-measures the five committed baselines (`BENCH_planning.json`,
+//! `BENCH_churn.json`, `BENCH_chaos.json`, `BENCH_scale.json`,
+//! `BENCH_shard.json`) through the same shared cell modules the
+//! criterion benches use, then diffs fresh against committed field by
+//! field:
 //!
 //! * **wall-time fields** (`*_ms`, `*_wall*`, `*speedup*`) get a
 //!   generous ratio band — they vary with the machine; the gate only
@@ -19,7 +20,7 @@
 
 use peercache_obs::Json;
 
-use crate::{chaos_cells, churn_cells, planning_cells, scale_cells};
+use crate::{chaos_cells, churn_cells, planning_cells, scale_cells, shard_cells};
 
 /// Default multiplicative band for wall-time fields: fresh must lie in
 /// `[committed / band, committed * band]`.
@@ -165,8 +166,8 @@ pub struct Baseline {
     pub fresh: fn() -> String,
 }
 
-/// The four gated baselines.
-pub const BASELINES: [Baseline; 4] = [
+/// The five gated baselines.
+pub const BASELINES: [Baseline; 5] = [
     Baseline {
         file: "BENCH_planning.json",
         fresh: || {
@@ -214,6 +215,13 @@ pub const BASELINES: [Baseline; 4] = [
                 ),
             ];
             scale_cells::render_json(&quality, &rows, scale_cells::SCALE_CHUNKS)
+        },
+    },
+    Baseline {
+        file: "BENCH_shard.json",
+        fresh: || {
+            let rows = shard_cells::run_sweep(shard_cells::GRID_SIDE, shard_cells::TICKS);
+            shard_cells::render_json(shard_cells::GRID_SIDE, shard_cells::TICKS, &rows)
         },
     },
 ];

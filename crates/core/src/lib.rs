@@ -65,6 +65,8 @@ pub mod placement;
 pub mod planner;
 pub mod report;
 pub mod scoped;
+pub mod shard;
+pub mod sharded;
 #[cfg(feature = "strict-invariants")]
 pub mod strict;
 pub mod workload;
@@ -72,4 +74,6 @@ pub mod world;
 
 pub use error::CoreError;
 pub use model::{ChunkId, Departure, Network, PartitionPolicy};
+pub use shard::{ArenaRow, CrossShardEvent, PlacementArena, ShardRouter, WorldShard};
+pub use sharded::{ShardConfig, ShardedWorld, TickReport};
 pub use world::{CacheWorld, PartitionEvent, WorldEvent};

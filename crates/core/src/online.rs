@@ -72,6 +72,19 @@ impl OnlineCache {
         self.world
     }
 
+    /// Consumes the facade into the region-sharded pipeline (see
+    /// [`CacheWorld::into_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CacheWorld::into_sharded`]'s errors.
+    pub fn into_sharded(
+        self,
+        scoped: crate::scoped::ScopedConfig,
+    ) -> Result<crate::sharded::ShardedWorld, crate::CoreError> {
+        self.world.into_sharded(scoped)
+    }
+
     /// Drains battery from a node between arrivals — environmental
     /// change only; affects future facility costs.
     ///

@@ -308,6 +308,105 @@ impl ScopedContention {
         Ok(stale.len())
     }
 
+    /// Refreshes the store after a *topology* change (links added or
+    /// removed, a node deactivated): the structural sibling of
+    /// [`ScopedContention::update`], and in fact a documented thin
+    /// wrapper over it.
+    ///
+    /// Why the same invalidation is sound for topology edits: the
+    /// per-node contention term is `w_k (1 + S(k))` with `w_k` the
+    /// node's *degree*, so every endpoint of a changed link (and every
+    /// former neighbor of a departed node, and the departed node
+    /// itself) changes its term bitwise, and `update` already rebuilds
+    /// every block whose demand ball contains a term-changed node. A
+    /// block's values can only change if the edited edge lies inside
+    /// its induced ball subgraph — both endpoints in its columns — and
+    /// a ball can only *gain* a member through a new edge whose nearer
+    /// endpoint was already within `k-1` hops (hence already a column).
+    /// Either way the stale block holds an endpoint, so the term diff
+    /// catches it and `build_block` recomputes the halo afresh.
+    ///
+    /// The one structural edit this cannot absorb is a *new node id*
+    /// ([`Network::join_node`] grows the graph): the region partition
+    /// has no region for it, so that case is rejected and the caller
+    /// must rebuild with [`ScopedContention::new`].
+    ///
+    /// `touched` must cover every node whose degree or load changed
+    /// (include the producer when distinct-chunk counts may have
+    /// moved); it is cross-checked in debug builds exactly like
+    /// `update`'s dirty set. Returns the number of blocks rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if the graph's node count no
+    ///   longer matches the partition (a node joined).
+    /// * [`CoreError::Graph`] on internal failures.
+    pub fn update_topology(
+        &mut self,
+        net: &Network,
+        touched: &[NodeId],
+        parallelism: Parallelism,
+    ) -> Result<usize, CoreError> {
+        if net.node_count() != self.terms.len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "scoped store built for {} nodes cannot absorb a grown graph of {} — rebuild",
+                self.terms.len(),
+                net.node_count()
+            )));
+        }
+        self.update(net, touched, parallelism)
+    }
+
+    /// Strict-invariants oracle: rebuilds every block from scratch
+    /// *over the retained partition* and asserts the incrementally
+    /// maintained state matches bitwise. A fresh
+    /// [`ScopedContention::new`] would re-grow the partition over the
+    /// current graph and legitimately differ after topology churn; the
+    /// invariant is that incremental maintenance of *this* partition
+    /// equals a from-scratch build of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any bitwise divergence (corrupted incremental state).
+    #[cfg(feature = "strict-invariants")]
+    pub fn strict_verify(&self, net: &Network) {
+        let terms = node_contention_terms(net);
+        assert_eq!(
+            terms.len(),
+            self.terms.len(),
+            "strict: node count drifted under the scoped store"
+        );
+        for (k, (fresh, held)) in terms.iter().zip(&self.terms).enumerate() {
+            assert!(
+                fresh.to_bits() == held.to_bits(),
+                "strict: stale contention term at node {k}"
+            );
+        }
+        let all: Vec<usize> = (0..self.partition.region_count()).collect();
+        let built = build_blocks(
+            net,
+            &self.partition,
+            &terms,
+            self.cfg.halo_hops,
+            self.selection,
+            Parallelism::Sequential,
+            &all,
+        )
+        .expect("strict: from-scratch block rebuild failed");
+        for (r, fresh) in built {
+            let held = &self.blocks[r];
+            assert_eq!(held.cols, fresh.cols, "strict: block {r} columns drifted");
+            assert_eq!(held.hops, fresh.hops, "strict: block {r} hops drifted");
+            assert!(
+                held.cost
+                    .iter()
+                    .zip(&fresh.cost)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "strict: block {r} cost values drifted from a fresh rebuild"
+            );
+        }
+    }
+
     /// Bytes of heap state the store holds: all block rows plus the
     /// landmark vectors and the term table. This is the
     /// `planner.contention_bytes` gauge.
@@ -643,7 +742,7 @@ impl CachePlanner for HierarchicalPlanner {
 /// Runs the dual ascent for every busy region, in parallel, returning
 /// the opened facilities per busy-region slot (busy order).
 #[allow(clippy::too_many_arguments)]
-fn ascend_regions(
+pub(crate) fn ascend_regions(
     scoped: &ScopedContention,
     facility_cost: &[f64],
     producer: NodeId,
@@ -697,7 +796,10 @@ fn ascend_regions(
 
 /// Facilities available to each region's clients: the open facilities
 /// inside the region's demand ball (region ∪ halo), sorted.
-fn facilities_by_region(scoped: &ScopedContention, facilities: &[NodeId]) -> Vec<Vec<NodeId>> {
+pub(crate) fn facilities_by_region(
+    scoped: &ScopedContention,
+    facilities: &[NodeId],
+) -> Vec<Vec<NodeId>> {
     (0..scoped.partition().region_count())
         .map(|r| {
             let cols = scoped.region_cols(r);
@@ -713,7 +815,7 @@ fn facilities_by_region(scoped: &ScopedContention, facilities: &[NodeId]) -> Vec
 /// The cheapest provider for one client among its region's reachable
 /// facilities (minus `skip`) and the producer; ties break toward the
 /// lower node id, matching the dense assignment.
-fn best_provider(
+pub(crate) fn best_provider(
     scoped: &ScopedContention,
     weights: CostWeights,
     producer: NodeId,
@@ -737,7 +839,7 @@ fn best_provider(
 /// Assigns every client and drops unused facilities to a fixpoint.
 /// Returns the surviving facilities (sorted), plus per-client providers
 /// and access costs in audience order.
-fn assign_and_prune(
+pub(crate) fn assign_and_prune(
     scoped: &ScopedContention,
     facility_cost: &[f64],
     producer: NodeId,
@@ -775,7 +877,7 @@ fn assign_and_prune(
 /// non-root node owns exactly one SPT edge), reported as
 /// `(child, parent)` pairs in ascending child order, with the summed
 /// edge cost.
-fn trunk_tree(
+pub(crate) fn trunk_tree(
     scoped: &ScopedContention,
     producer: NodeId,
     spt_parent: &[Option<NodeId>],
@@ -833,7 +935,7 @@ fn trunk_refcounts(
 /// would cost. Total work is `O(passes × facilities)` candidate
 /// evaluations, which is what lets the 100k-node plan finish.
 #[allow(clippy::too_many_arguments)]
-fn improve_by_scoped_removal(
+pub(crate) fn improve_by_scoped_removal(
     scoped: &ScopedContention,
     facility_cost: &[f64],
     producer: NodeId,
@@ -1055,6 +1157,69 @@ mod tests {
         .unwrap();
         let rebuilt = scoped.update(&net, &[], Parallelism::Sequential).unwrap();
         assert_eq!(rebuilt, 0);
+    }
+
+    #[test]
+    fn update_topology_matches_scratch_rebuild_of_retained_partition() {
+        let mut net = grid_net(6, 4);
+        let cfg = small_cfg();
+        let mut scoped = ScopedContention::new(
+            &net,
+            cfg,
+            PathSelection::FewestHops,
+            Parallelism::Sequential,
+        )
+        .unwrap();
+        // One link down, one shortcut up, one corner departure — every
+        // touched node's degree (hence term) changes, which is what the
+        // invalidation rides on.
+        let mut touched = vec![NodeId::new(0), NodeId::new(1)];
+        assert!(net.remove_link(NodeId::new(0), NodeId::new(1)).unwrap());
+        assert!(net.add_link(NodeId::new(2), NodeId::new(14)).unwrap());
+        touched.extend([NodeId::new(2), NodeId::new(14)]);
+        let dep = net.deactivate_node(NodeId::new(35)).unwrap();
+        touched.push(NodeId::new(35));
+        touched.extend(dep.former_neighbors);
+        touched.push(net.producer());
+        touched.sort_unstable();
+        touched.dedup();
+        let rebuilt = scoped
+            .update_topology(&net, &touched, Parallelism::Sequential)
+            .unwrap();
+        assert!(rebuilt > 0, "topology churn must invalidate blocks");
+        // Every block must now equal a from-scratch build over the
+        // *retained* partition, bitwise.
+        let terms = node_contention_terms(&net);
+        let all: Vec<usize> = (0..scoped.partition().region_count()).collect();
+        let fresh = build_blocks(
+            &net,
+            scoped.partition(),
+            &terms,
+            cfg.halo_hops,
+            PathSelection::FewestHops,
+            Parallelism::Sequential,
+            &all,
+        )
+        .unwrap();
+        for (r, b) in fresh {
+            assert_eq!(scoped.blocks[r].cols, b.cols, "block {r} cols drifted");
+            assert_eq!(scoped.blocks[r].hops, b.hops, "block {r} hops drifted");
+            assert!(
+                scoped.blocks[r]
+                    .cost
+                    .iter()
+                    .zip(&b.cost)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "block {r} costs drifted"
+            );
+        }
+        // A grown graph cannot be absorbed: the partition has no region
+        // for the newcomer, so the call must refuse and demand a rebuild.
+        net.join_node(&[NodeId::new(2)], 3).unwrap();
+        assert!(matches!(
+            scoped.update_topology(&net, &[], Parallelism::Sequential),
+            Err(CoreError::InvalidParameter(_))
+        ));
     }
 
     #[test]

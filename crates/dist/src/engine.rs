@@ -86,6 +86,9 @@ pub struct Engine {
     loss: Option<(f64, ChaCha8Rng)>,
     jitter: Option<(u32, ChaCha8Rng)>,
     payload_misses: u64,
+    /// Optional node → shard homes (see `peercache_core::sharded`);
+    /// empty means cross-shard accounting is off.
+    shard_of: Vec<u32>,
 }
 
 impl Engine {
@@ -100,6 +103,7 @@ impl Engine {
             loss: None,
             jitter: None,
             payload_misses: 0,
+            shard_of: Vec::new(),
         }
     }
 
@@ -240,6 +244,43 @@ impl Engine {
         self.queue.peek().map(|Reverse((key, _))| key.at)
     }
 
+    /// Pops the next delivery due at or before `tick`, advancing the
+    /// clock as [`Engine::next_delivery`] does, or `None` when nothing
+    /// is due. This is the per-tick drain step of the simulation loop,
+    /// extracted as a *single* pop on purpose: handlers run between
+    /// pops and their sends consume the loss/jitter RNG streams, so a
+    /// collect-then-handle drain would reorder the draws and change
+    /// fault outcomes bit-for-bit.
+    pub fn next_delivery_due(&mut self, tick: Tick) -> Option<Delivery> {
+        if self.next_time().is_some_and(|t| t <= tick) {
+            // `next_time` just peeked a queue entry, so a delivery
+            // exists; `None` on a phantom entry ends the caller's
+            // drain loop panic-free (P1), as the inline loop did.
+            self.next_delivery()
+        } else {
+            None
+        }
+    }
+
+    /// Installs a node → shard map (region homes of the sharded world).
+    /// With a map installed, [`Engine::crosses_shards`] lets callers
+    /// account control messages that leave their sender's shard; an
+    /// empty map (the default) keeps the accounting inert.
+    pub fn set_shard_map(&mut self, shard_of: Vec<u32>) {
+        self.shard_of = shard_of;
+    }
+
+    /// Whether `a` and `b` are homed in different shards of the
+    /// installed map. Always `false` without a map or for out-of-range
+    /// nodes.
+    #[must_use]
+    pub fn crosses_shards(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.shard_of.get(a.index()), self.shard_of.get(b.index())) {
+            (Some(x), Some(y)) => x != y,
+            _ => false,
+        }
+    }
+
     /// Returns `true` if no deliveries are pending.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
@@ -353,6 +394,43 @@ mod tests {
         for i in 0..5 {
             assert_eq!(e.next_delivery().unwrap().to, NodeId::new(i));
         }
+    }
+
+    #[test]
+    fn next_delivery_due_matches_peek_and_pop() {
+        let mut a = Engine::new();
+        let mut b = Engine::new();
+        for e in [&mut a, &mut b] {
+            for i in 0..6 {
+                e.send(NodeId::new(i), 1 + (i as u32 % 3), msg());
+            }
+        }
+        for tick in 1..=4u64 {
+            let mut drained = Vec::new();
+            while let Some(d) = a.next_delivery_due(tick) {
+                drained.push(d);
+            }
+            let mut inline = Vec::new();
+            while b.next_time().is_some_and(|t| t <= tick) {
+                let Some(d) = b.next_delivery() else { break };
+                inline.push(d);
+            }
+            assert_eq!(drained, inline, "tick {tick} diverged");
+            assert_eq!(a.now(), b.now());
+        }
+        assert!(a.is_idle() && b.is_idle());
+    }
+
+    #[test]
+    fn shard_map_detects_boundary_crossings() {
+        let mut e = Engine::new();
+        // No map: accounting inert.
+        assert!(!e.crosses_shards(NodeId::new(0), NodeId::new(1)));
+        e.set_shard_map(vec![0, 0, 1]);
+        assert!(!e.crosses_shards(NodeId::new(0), NodeId::new(1)));
+        assert!(e.crosses_shards(NodeId::new(1), NodeId::new(2)));
+        // Out-of-range nodes never count as crossings.
+        assert!(!e.crosses_shards(NodeId::new(2), NodeId::new(9)));
     }
 
     #[test]

@@ -82,6 +82,13 @@ pub struct SimConfig {
     pub chaos: FaultPlan,
     /// Retry / lease / election-timeout parameters.
     pub liveness: LivenessConfig,
+    /// Optional node → shard homes (region homes of a
+    /// `peercache_core::sharded::ShardedWorld`). When non-empty, every
+    /// scheduled control message whose sender and receiver live in
+    /// different shards is counted on `dist.cross_shard_msgs` — the
+    /// wire-level view of the sharded world's router traffic. Empty
+    /// (the default) keeps the accounting inert.
+    pub shard_map: Vec<u32>,
 }
 
 impl Default for SimConfig {
@@ -98,6 +105,7 @@ impl Default for SimConfig {
             deaths: Vec::new(),
             chaos: FaultPlan::default(),
             liveness: LivenessConfig::default(),
+            shard_map: Vec::new(),
         }
     }
 }
@@ -369,6 +377,9 @@ impl Wire {
                         copy > 0,
                         ctx,
                     );
+                    if scheduled && obs::enabled() && self.engine.crosses_shards(from, to) {
+                        obs::counter("dist.cross_shard_msgs").incr();
+                    }
                     if !scheduled && self.trace.is_some() {
                         obs::emit_span(
                             message_span_name(msg.kind()),
@@ -521,8 +532,12 @@ pub fn run_chunk_round(
     // but the JSONL sink, so outcomes are identical with tracing on or
     // off.
     let tracing = obs::enabled();
+    let mut engine = Engine::with_faults(cfg.loss, cfg.jitter);
+    if !cfg.shard_map.is_empty() {
+        engine.set_shard_map(cfg.shard_map.clone());
+    }
     let mut wire = Wire {
-        engine: Engine::with_faults(cfg.loss, cfg.jitter),
+        engine,
         chaos: ChaosState::compile(&cfg.chaos, &cfg.deaths),
         trace: tracing.then(|| RoundTrace {
             trace: round_trace_id(net, cfg, chunk),
@@ -570,16 +585,13 @@ pub fn run_chunk_round(
             }
         }
 
-        // Deliver everything due at this tick. Messages addressed to a
-        // dead node vanish into the void (in-flight messages *from* a
-        // node that has since died still arrive — radio waves do not
-        // recall themselves).
-        while wire.engine.next_time().is_some_and(|t| t <= tick) {
-            // `next_time` just peeked a queue entry, so a delivery exists;
-            // breaking on a phantom entry keeps the path panic-free (P1).
-            let Some(d) = wire.engine.next_delivery() else {
-                break;
-            };
+        // Deliver everything due at this tick, one pop per handler run
+        // (handler sends draw the loss/jitter RNGs, so pop order and
+        // send order must stay interleaved exactly as scheduled).
+        // Messages addressed to a dead node vanish into the void
+        // (in-flight messages *from* a node that has since died still
+        // arrive — radio waves do not recall themselves).
+        while let Some(d) = wire.engine.next_delivery_due(tick) {
             let to_dead = dead[d.to.index()];
             if wire.trace.is_some() {
                 let fate = if to_dead {

@@ -187,6 +187,22 @@ impl RegionPartition {
         halo
     }
 
+    /// The k-hop demand ball of region `r`: the region's own members
+    /// plus its [`halo_of`](RegionPartition::halo_of), sorted ascending.
+    /// This is the column set of a scoped-contention block and the
+    /// candidate scope of shard-local repair decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn ball_of(&self, g: &Graph, r: usize, k: u32) -> Vec<NodeId> {
+        let mut ball = self.regions[r].clone();
+        ball.extend(self.halo_of(g, r, k));
+        ball.sort_unstable();
+        ball
+    }
+
     /// Per-node flags: `true` when the node lies within `k` hops of any
     /// border node (including the border nodes themselves). This is the
     /// stitch scope of the hierarchical planner.
@@ -284,6 +300,26 @@ mod tests {
         let near = p.near_border(&g, 0);
         for u in g.nodes() {
             assert_eq!(near[u.index()], p.is_border(u));
+        }
+    }
+
+    #[test]
+    fn ball_is_sorted_union_of_region_and_halo() {
+        let g = builders::grid(6, 6);
+        let p = RegionPartition::grow(&g, 9, 11);
+        for r in 0..p.region_count() {
+            for k in 0..3u32 {
+                let ball = p.ball_of(&g, r, k);
+                let halo = p.halo_of(&g, r, k);
+                assert_eq!(ball.len(), p.region(r).len() + halo.len());
+                assert!(ball.windows(2).all(|w| w[0] < w[1]), "ball not sorted");
+                for &u in p.region(r) {
+                    assert!(ball.binary_search(&u).is_ok());
+                }
+                for &u in &halo {
+                    assert!(ball.binary_search(&u).is_ok());
+                }
+            }
         }
     }
 

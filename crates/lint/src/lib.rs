@@ -1,8 +1,9 @@
 //! `peercache-lint`: zero-dependency domain-rule linter for the workspace.
 //!
-//! Enforces six invariants that the repo's headline guarantees (byte-identical
+//! Enforces seven invariants that the repo's headline guarantees (byte-identical
 //! replans, deterministic churn replays, panic-free distributed bidding, a
-//! closed observability vocabulary, sub-quadratic planning) rest on:
+//! closed observability vocabulary, sub-quadratic planning, shard-isolated
+//! mutation) rest on:
 //!
 //! | Rule | Statement | Scope |
 //! |------|-----------|-------|
@@ -12,6 +13,7 @@
 //! | N1 | no direct `==`/`!=` on cost-valued f64 | `core`, `dist`, `graph` (helpers in `core::costs` exempt) |
 //! | O1 | `obs::span!`/`event!`/counter/gauge/histogram/`TimeSeries` names must be string literals registered in `obs::names` | everywhere except `obs`, `lint` |
 //! | S1 | no `AllPairsPaths::compute`/`compute_with` call sites | everywhere except `graph::paths`, `graph::oracle`, `core::costs`, `core::scoped` |
+//! | R1 | no `arena_mut(...)`/`apply_cross(...)` call sites (shard state mutates only via `CrossShardEvent`s through the router) | everywhere except `core::shard`, `core::sharded` |
 //!
 //! The pass is token-level (no `syn`, no network): comments, strings, and
 //! test-only regions never fire. Violations are suppressed only through the

@@ -1,0 +1,30 @@
+//! Fixture for rule R1: direct shard-state mutation outside the shard
+//! modules. Never compiled — lexed by the lint tests only.
+
+pub fn poke_foreign_shard(world: &mut ShardedWorld, row: ArenaRow) {
+    // Reaching into another shard's arena bypasses the router's
+    // deterministic (shard, seq) merge order.
+    let shard = &mut world.shards[0];
+    shard.arena_mut().set(row.client, row.chunk, row.provider, row.cost_bits);
+}
+
+pub fn replay_event_out_of_band(shard: &mut WorldShard, ev: CrossShardEvent) {
+    // Applying a cross-shard event outside the owning shard's drain.
+    shard.apply_cross(ev);
+}
+
+pub fn quiet_sites(shard: &WorldShard) -> usize {
+    // Mentions without a call never fire: doc talk about arena_mut and
+    // apply_cross semantics, field-position identifiers, reads.
+    let arena_mut_count = 0;
+    shard.arena().len() + arena_mut_count
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only regions stay exempt even for R1.
+    fn t(shard: &mut WorldShard, ev: CrossShardEvent) {
+        shard.apply_cross(ev);
+        shard.arena_mut().remove_chunk(ChunkId::new(0));
+    }
+}

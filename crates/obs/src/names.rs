@@ -19,6 +19,7 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "bench.scale",
     "bench.walltime_by_size",
     "core.dual_ascent",
+    "dist.cross_shard_msgs",
     "dist.degraded_clients",
     "dist.deposition",
     "dist.election",
@@ -58,10 +59,12 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "repro.figure",
     "repro.perf",
     "repro.trace",
+    "shard.queue_depth",
     "sim.in_flight",
     "sim.queue_depth",
     "sim.unsettled_clients",
     "world.components",
+    "world.cross_shard_events",
     "world.deferred_demand",
     "world.demand_deferred",
     "world.demand_live",
@@ -72,6 +75,8 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "world.partition_healed",
     "world.repair",
     "world.repair_vs_replan",
+    "world.shard_count",
+    "world.tick",
 ];
 
 /// Whether `name` appears in the registry.

@@ -34,6 +34,10 @@ run cargo test --workspace --features strict-invariants -q
 # windows, lease-based ADMIN deposition, byte-identical replay) must
 # hold with the oracles armed.
 run cargo test --test chaos_trace --features strict-invariants -q
+# The sharded-world determinism suite (200+ churn events per topology,
+# byte-identical digests across every Parallelism setting) must hold
+# with the per-tick shard oracles armed.
+run cargo test --test shard_world --features strict-invariants -q
 if [[ $fast -eq 0 ]]; then
     # Release-mode smoke runs of the hot-path benches: quick variants,
     # do not overwrite the committed BENCH_*.json files.
@@ -43,6 +47,10 @@ if [[ $fast -eq 0 ]]; then
     # Scale smoke: the hierarchical planner on shrunken topologies
     # (full grid100/rgg100k rows are re-measured by the perf gate).
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench scale
+    # Shard smoke: the thread sweep on a shrunken grid asserts digest
+    # equality across thread counts (full grid50 sweep is re-measured
+    # by the perf gate against BENCH_shard.json).
+    run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench shard
     # Perf-regression gate: re-runs the benches fresh and diffs the
     # structural counters (exact) and wall-clock numbers (tolerance
     # band, see PEERCACHE_PERF_TOL) against the committed BENCH_*.json.

@@ -42,7 +42,7 @@
 
 pub use peercache_core::{
     approx, baselines, costs, exact, instance, metrics, online, placement, planner, report, scoped,
-    workload, world, ChunkId, CoreError, Network, PartitionPolicy,
+    shard, sharded, workload, world, ChunkId, CoreError, Network, PartitionPolicy,
 };
 pub use peercache_dist as dist;
 pub use peercache_graph as graph;
@@ -66,6 +66,9 @@ pub mod prelude {
     pub use crate::metrics;
     pub use crate::placement::Placement;
     pub use crate::planner::CachePlanner;
+    pub use crate::scoped::ScopedConfig;
+    pub use crate::shard::CrossShardEvent;
+    pub use crate::sharded::{ShardConfig, ShardedWorld, TickReport};
     pub use crate::workload::{paper_grid, paper_random, ScenarioBuilder, Topology};
     pub use crate::world::{CacheWorld, EventOutcome, PartitionEvent, WorldEvent};
     pub use crate::{ChunkId, CoreError, Network, PartitionPolicy};

@@ -1,0 +1,229 @@
+//! Determinism suite for the region-sharded world: the same long
+//! seeded churn trace (arrivals, retirements, departures, joins, link
+//! flaps) must drive [`ShardedWorld`] to a **byte-identical state
+//! digest** — and identical per-tick reports, span counts, and
+//! cross-shard routing totals — under every [`Parallelism`] setting.
+//! The thread knob is pure wall-clock; any divergence is a scheduling
+//! leak in the shard fan-out.
+//!
+//! `scripts/check.sh` re-runs this suite with `--features
+//! strict-invariants`, arming the per-tick oracles (full state
+//! validation plus a from-scratch scoped-contention rebuild compare)
+//! inside every `tick`.
+
+use peercache::approx::ApproxConfig;
+use peercache::graph::paths::Parallelism;
+use peercache::prelude::*;
+
+/// Tiny xorshift64 generator so the trace is deterministic without
+/// pulling a RNG crate into the integration tests.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Keep at least this many active nodes so departures cannot hollow
+/// out the audience entirely.
+const MIN_ACTIVE: usize = 8;
+
+/// Events per tick batch; [`TICKS`] batches ≥ 200 events total.
+const BATCH: usize = 5;
+
+/// Churn ticks driven per trace.
+const TICKS: usize = 45;
+
+fn shard_world(net: Network, par: Parallelism) -> ShardedWorld {
+    let cfg = ShardConfig {
+        approx: ApproxConfig {
+            parallelism: par,
+            ..ApproxConfig::default()
+        },
+        scoped: ScopedConfig::default(),
+    };
+    ShardedWorld::new(net, cfg)
+        .expect("sharded world builds")
+        .with_retention(5)
+}
+
+/// Draws one event from the trace RNG against the current world state.
+/// Worlds under different thread settings evolve identically (that is
+/// the property under test), so the state-dependent picks stay in
+/// lockstep as long as the RNG sequence matches.
+fn draw_event(world: &ShardedWorld, rng: &mut XorShift) -> WorldEvent {
+    let roll = rng.below(100);
+    if roll < 45 || world.live_chunks().is_empty() {
+        WorldEvent::ChunkArrived
+    } else if roll < 58 {
+        let live = world.live_chunks();
+        WorldEvent::ChunkRetired(live[rng.below(live.len())])
+    } else if roll < 73 {
+        let producer = world.network().producer();
+        let candidates: Vec<NodeId> = world
+            .network()
+            .active_nodes()
+            .into_iter()
+            .filter(|&n| n != producer)
+            .collect();
+        if candidates.len() < MIN_ACTIVE {
+            WorldEvent::ChunkArrived
+        } else {
+            WorldEvent::NodeDeparted(candidates[rng.below(candidates.len())])
+        }
+    } else if roll < 81 {
+        let active = world.network().active_nodes();
+        let a = active[rng.below(active.len())];
+        let b = active[rng.below(active.len())];
+        let neighbors = if a == b { vec![a] } else { vec![a, b] };
+        WorldEvent::NodeJoined {
+            neighbors,
+            capacity: 3 + rng.below(3),
+        }
+    } else if roll < 91 {
+        let edges: Vec<(NodeId, NodeId)> = world.network().graph().edges().collect();
+        let (u, v) = edges[rng.below(edges.len())];
+        WorldEvent::LinkDown(u, v)
+    } else {
+        let active = world.network().active_nodes();
+        let a = active[rng.below(active.len())];
+        let b = active[rng.below(active.len())];
+        if a == b {
+            WorldEvent::ChunkArrived
+        } else {
+            WorldEvent::LinkUp(a, b)
+        }
+    }
+}
+
+/// Outcome of one full trace under one thread setting.
+struct TraceRun {
+    reports: Vec<TickReport>,
+    digest: u64,
+    spans: u64,
+    cross_events: u64,
+    applied: u64,
+    rejected: u64,
+}
+
+/// Drives [`TICKS`] batches of [`BATCH`] events through a fresh world
+/// on `net` and returns everything comparable about the run.
+fn run_trace(net: Network, par: Parallelism, seed: u64) -> TraceRun {
+    let mut world = shard_world(net, par);
+    let mut rng = XorShift::new(seed);
+    let mut reports = Vec::with_capacity(TICKS);
+    for _ in 0..TICKS {
+        let mut batch = Vec::with_capacity(BATCH);
+        for _ in 0..BATCH {
+            batch.push(draw_event(&world, &mut rng));
+        }
+        let report = world.tick(&batch).expect("tick never fails wholesale");
+        world
+            .validate()
+            .expect("world must stay consistent after every tick");
+        reports.push(report);
+    }
+    TraceRun {
+        digest: world.state_digest(),
+        spans: world.span_count(),
+        cross_events: world.cross_shard_events(),
+        applied: world.events_applied(),
+        rejected: world.events_rejected(),
+        reports,
+    }
+}
+
+/// The parallelism sweep of the suite: serial, two workers, and
+/// whatever the host auto-detects.
+fn settings() -> [Parallelism; 3] {
+    [
+        Parallelism::Sequential,
+        Parallelism::Threads(2),
+        Parallelism::Auto,
+    ]
+}
+
+fn assert_identical_runs(mut make_net: impl FnMut() -> Network, seed: u64) {
+    let baseline = run_trace(make_net(), Parallelism::Sequential, seed);
+    assert_eq!(
+        baseline.applied + baseline.rejected,
+        (TICKS * BATCH) as u64,
+        "trace must attempt every drawn event"
+    );
+    assert!(
+        baseline.applied >= 200,
+        "trace too short: only {} events applied",
+        baseline.applied
+    );
+    assert!(
+        baseline.reports.iter().any(|r| !r.departed.is_empty()),
+        "trace must exercise departures"
+    );
+    assert!(
+        baseline.reports.iter().any(|r| !r.joined.is_empty()),
+        "trace must exercise joins"
+    );
+    assert!(baseline.cross_events > 0, "trace must route across shards");
+    for par in settings().into_iter().skip(1) {
+        let run = run_trace(make_net(), par, seed);
+        assert_eq!(
+            run.digest, baseline.digest,
+            "{par:?} diverged from Sequential: state digest differs"
+        );
+        assert_eq!(run.spans, baseline.spans, "{par:?}: span count differs");
+        assert_eq!(
+            run.cross_events, baseline.cross_events,
+            "{par:?}: cross-shard event count differs"
+        );
+        assert_eq!(run.applied, baseline.applied);
+        assert_eq!(run.rejected, baseline.rejected);
+        assert_eq!(
+            run.reports, baseline.reports,
+            "{par:?}: per-tick reports differ"
+        );
+    }
+}
+
+#[test]
+fn grid_churn_trace_is_byte_identical_across_thread_settings() {
+    assert_identical_runs(
+        || Network::new(builders::grid(14, 14), NodeId::new(0), 5).expect("grid network builds"),
+        0x5EED_0001,
+    );
+}
+
+#[test]
+fn random_geometric_churn_trace_is_byte_identical_across_thread_settings() {
+    assert_identical_runs(
+        || paper_random(120, 7).expect("rgg network builds"),
+        0x5EED_0002,
+    );
+}
+
+/// Re-running the identical trace twice under the *same* setting must
+/// also reproduce bit-for-bit — cross-run determinism, the property the
+/// committed `BENCH_shard.json` digest rests on.
+#[test]
+fn traces_replay_identically_across_runs() {
+    let net =
+        || Network::new(builders::grid(12, 12), NodeId::new(0), 5).expect("grid network builds");
+    let a = run_trace(net(), Parallelism::Auto, 0xDECADE);
+    let b = run_trace(net(), Parallelism::Auto, 0xDECADE);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.spans, b.spans);
+    assert_eq!(a.reports, b.reports);
+}
