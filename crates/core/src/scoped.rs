@@ -440,7 +440,9 @@ fn build_blocks(
     let mut slots: Vec<Option<Result<Block, CoreError>>> = (0..which.len()).map(|_| None).collect();
     if threads <= 1 || which.len() <= 1 {
         for (slot, &r) in slots.iter_mut().zip(which) {
-            *slot = Some(build_block(net, partition, terms, halo_hops, selection, r));
+            *slot = Some(obs::with_quiet(|| {
+                build_block(net, partition, terms, halo_hops, selection, r)
+            }));
         }
     } else {
         let per = which.len().div_ceil(threads);
@@ -448,7 +450,9 @@ fn build_blocks(
             for (chunk, regions) in slots.chunks_mut(per).zip(which.chunks(per)) {
                 s.spawn(move || {
                     for (slot, &r) in chunk.iter_mut().zip(regions) {
-                        *slot = Some(build_block(net, partition, terms, halo_hops, selection, r));
+                        *slot = Some(obs::with_quiet(|| {
+                            build_block(net, partition, terms, halo_hops, selection, r)
+                        }));
                     }
                 });
             }
@@ -772,7 +776,7 @@ pub(crate) fn ascend_regions(
         (0..busy.len()).map(|_| None).collect();
     if threads <= 1 || busy.len() <= 1 {
         for (slot, &r) in slots.iter_mut().zip(busy) {
-            *slot = Some(run(r));
+            *slot = Some(obs::with_quiet(|| run(r)));
         }
     } else {
         let per = busy.len().div_ceil(threads);
@@ -781,7 +785,7 @@ pub(crate) fn ascend_regions(
                 let run = &run;
                 s.spawn(move || {
                     for (slot, &r) in chunk.iter_mut().zip(rs) {
-                        *slot = Some(run(r));
+                        *slot = Some(obs::with_quiet(|| run(r)));
                     }
                 });
             }

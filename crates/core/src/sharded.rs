@@ -954,7 +954,7 @@ impl ShardedWorld {
             mix(self.net.capacity(node) as u64);
             mix(self.net.battery(node).to_bits());
             for &c in self.net.cached_chunks(node) {
-                mix(c.index() as u64 + 1);
+                mix((c.index() as u64).wrapping_add(1));
             }
             mix(u64::MAX); // cache-set terminator
         }
@@ -965,7 +965,7 @@ impl ShardedWorld {
                 mix(i.index() as u64);
             }
             for &(c, p) in &sc.tree_edges {
-                mix(((c.index() as u64) << 32) | p.index() as u64);
+                mix((c.index() as u64).wrapping_shl(32) | p.index() as u64);
             }
             mix(sc.tree_cost.to_bits());
         }
@@ -1122,7 +1122,7 @@ fn fan_out<T: Sync, R: Send>(
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     if threads <= 1 || items.len() <= 1 {
         for (slot, item) in slots.iter_mut().zip(items) {
-            *slot = Some(task(item));
+            *slot = Some(obs::with_quiet(|| task(item)));
         }
     } else {
         let per = items.len().div_ceil(threads);
@@ -1131,7 +1131,7 @@ fn fan_out<T: Sync, R: Send>(
                 let task = &task;
                 s.spawn(move || {
                     for (slot, item) in chunk.iter_mut().zip(part) {
-                        *slot = Some(task(item));
+                        *slot = Some(obs::with_quiet(|| task(item)));
                     }
                 });
             }

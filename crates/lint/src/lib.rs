@@ -1,9 +1,11 @@
 //! `peercache-lint`: zero-dependency domain-rule linter for the workspace.
 //!
-//! Enforces seven invariants that the repo's headline guarantees (byte-identical
-//! replans, deterministic churn replays, panic-free distributed bidding, a
-//! closed observability vocabulary, sub-quadratic planning, shard-isolated
-//! mutation) rest on:
+//! Enforces the invariants that the repo's headline guarantees
+//! (byte-identical replans, deterministic churn replays, panic-free
+//! distributed bidding, a closed observability vocabulary, sub-quadratic
+//! planning, shard-isolated mutation) rest on.
+//!
+//! Token-level rules (fast pass, every check):
 //!
 //! | Rule | Statement | Scope |
 //! |------|-----------|-------|
@@ -11,24 +13,75 @@
 //! | D2 | no `Instant`/`SystemTime`/`thread_rng` | everywhere except `obs`, `bench` |
 //! | P1 | no `unwrap`/`expect`/`panic!`-family macros | `crates/dist/src/**`, `core::world` |
 //! | N1 | no direct `==`/`!=` on cost-valued f64 | `core`, `dist`, `graph` (helpers in `core::costs` exempt) |
-//! | O1 | `obs::span!`/`event!`/counter/gauge/histogram/`TimeSeries` names must be string literals registered in `obs::names` | everywhere except `obs`, `lint` |
+//! | O1 | `obs::span!`/`event!`/counter/gauge/histogram/`TimeSeries` names must be string literals registered in `obs::names`; registered names must also be emitted somewhere | everywhere except `obs`, `lint` |
 //! | S1 | no `AllPairsPaths::compute`/`compute_with` call sites | everywhere except `graph::paths`, `graph::oracle`, `core::costs`, `core::scoped` |
 //! | R1 | no `arena_mut(...)`/`apply_cross(...)` call sites (shard state mutates only via `CrossShardEvent`s through the router) | everywhere except `core::shard`, `core::sharded` |
 //!
-//! The pass is token-level (no `syn`, no network): comments, strings, and
-//! test-only regions never fire. Violations are suppressed only through the
-//! committed `lint-waivers.toml`, which requires a per-site justification;
-//! stale waivers fail the run.
+//! Semantic rules (`--deep` pass: item parser + call graph + dataflow,
+//! see [`parser`], [`dataflow`], [`semantic`]):
+//!
+//! | Rule | Statement | Scope |
+//! |------|-----------|-------|
+//! | T1 | hash-order / ambient-time / thread-identity taint must not reach ordering-sensitive sinks (`state_digest`, JSONL emission, cross-shard merge) across function boundaries; injected clocks and sort/BTree sanitizers cut the flow | sinks everywhere except `bench`, `lint` |
+//! | C1 | closures under a thread fan-out must not capture outer `&mut` state, mutate shard state, or reach observability emission outside `obs::with_quiet` | everywhere except `obs`, `bench`, `lint` |
+//! | A1 | raw `+`/`*`/`<<` on integers in the downward call closure of any digest function must be `wrapping_*`/`checked_*` | `core`, `dist`, `graph` |
+//!
+//! The pass is dependency-free (no `syn`, no network): comments, strings,
+//! and test-only regions never fire. Violations are suppressed only
+//! through the committed `lint-waivers.toml`, which requires a per-site
+//! justification plus `added_in`/`re_audit_after` PR stamps; stale or
+//! over-budget waivers fail the run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 pub mod waivers;
 
 pub use rules::{NameRegistry, Violation};
 pub use waivers::{apply_waivers, parse_waivers, Waiver, WaiverReport};
+
+/// Rule O1, reverse direction: names in the registry that no non-test
+/// source outside the registry file ever mentions are dead vocabulary.
+///
+/// `usages` holds every string literal seen outside test regions in the
+/// workspace (excluding `names.rs` itself); `names_src` is the registry
+/// source, re-scanned here so each dead name can be reported on its own
+/// definition line.
+pub fn dead_registered_names(
+    names_src: &str,
+    names_rel_path: &str,
+    usages: &std::collections::BTreeSet<String>,
+) -> Vec<Violation> {
+    let toks = lexer::tokenize(names_src);
+    let in_test = lexer::mark_test_regions(&toks);
+    let lines: Vec<&str> = names_src.lines().collect();
+    toks.iter()
+        .zip(&in_test)
+        .filter_map(|(t, &test)| match (&t.kind, test) {
+            (lexer::TokKind::Str(name), false) if !usages.contains(name) => Some(Violation {
+                rule: "O1",
+                file: names_rel_path.to_string(),
+                line: t.line,
+                snippet: lines
+                    .get(t.line as usize - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                message: format!(
+                    "registered name \"{name}\" is never emitted by any non-test code; \
+                     remove it from `REGISTERED_NAMES` — a closed vocabulary only stays \
+                     trustworthy if every entry is live"
+                ),
+                trace: Vec::new(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
 
 /// Lint a single source file given as a string, without an O1 registry
 /// (rules D1/D2/P1/N1 only).

@@ -11,7 +11,7 @@ use crate::lexer::{Tok, TokKind};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Rule identifier: `"D1"`, `"D2"`, `"P1"`, `"N1"`, `"O1"`, `"S1"`,
-    /// or `"R1"`.
+    /// `"R1"`, or one of the semantic rules `"T1"` / `"C1"` / `"A1"`.
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub file: String,
@@ -21,6 +21,9 @@ pub struct Violation {
     pub snippet: String,
     /// Human-readable explanation of the rule.
     pub message: String,
+    /// Cross-function flow trace for the semantic rules (T1/C1/A1);
+    /// empty for the token-level rules.
+    pub trace: Vec<String>,
 }
 
 /// Identifier substrings that mark an operand as cost-valued for rule N1.
@@ -144,6 +147,7 @@ pub fn check_tokens(
             line,
             snippet: snippet(line),
             message,
+            trace: Vec::new(),
         });
     };
 

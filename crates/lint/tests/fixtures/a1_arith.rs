@@ -1,0 +1,22 @@
+//! A1 positive fixture: raw integer arithmetic inside a digest path.
+//! Linted as if in `crates/core`.
+
+fn splitmix(h: u64, x: u64) -> u64 {
+    let z = h ^ x;
+    z.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Two calls below the digest root: the raw `<<` and `+` here must both
+/// be flagged, each with a trace back to `state_digest`.
+fn mix_row(h: u64, c: u32, p: u32) -> u64 {
+    let key = ((c as u64) << 32) | p as u64;
+    splitmix(h, key + 1)
+}
+
+pub fn state_digest(rows: &[(u32, u32)]) -> u64 {
+    let mut h = 0u64;
+    for &(c, p) in rows {
+        h = mix_row(h, c, p);
+    }
+    h
+}

@@ -1,0 +1,33 @@
+//! A1 negative fixture: wrapping arithmetic inside the digest path, the
+//! documented operator escapes, and raw arithmetic *outside* any digest
+//! path (which is not A1's business).
+
+fn splitmix(h: u64, x: u64) -> u64 {
+    let z = h ^ x;
+    z.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn mix_row(h: u64, c: u32, p: u32) -> u64 {
+    let key = (c as u64).wrapping_shl(32) | p as u64;
+    let offset = 4 + 4;
+    let weight = key as f64 * 0.5;
+    let _ = weight;
+    splitmix(h, key.wrapping_add(offset))
+}
+
+pub fn state_digest(rows: &[(u32, u32)]) -> u64 {
+    let mut h = 0u64;
+    for &(c, p) in rows {
+        h = mix_row(h, c, p);
+    }
+    h
+}
+
+/// Raw `+` on an integer, but no digest function reaches here: quiet.
+pub fn tally(xs: &[u64]) -> u64 {
+    let mut t = 0u64;
+    for &x in xs {
+        t = t + x;
+    }
+    t
+}

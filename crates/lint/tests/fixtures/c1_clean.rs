@@ -1,0 +1,22 @@
+//! C1 negative fixture: the same fan-out shape with every obligation
+//! discharged — workers write only their own slot and all potentially
+//! emitting calls are wrapped in `obs::with_quiet`.
+
+fn emit_progress(done: usize) {
+    obs::event!("fixture.progress", done = done);
+}
+
+pub fn quiet_fan_out(items: &[u32], task: impl Fn(u32) -> u64 + Sync) -> Vec<u64> {
+    let mut slots: Vec<Option<u64>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (slot, item) in slots.iter_mut().zip(items) {
+            s.spawn(move || {
+                let mut local = 0u64;
+                local = local.wrapping_add(obs::with_quiet(|| task(*item)));
+                obs::with_quiet(|| emit_progress(1));
+                *slot = Some(local);
+            });
+        }
+    });
+    slots.into_iter().flatten().collect()
+}

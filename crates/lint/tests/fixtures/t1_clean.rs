@@ -1,0 +1,34 @@
+//! T1 negative fixture: the same flow shapes as `t1_taint_flow.rs`, cut
+//! at the sanctioned boundaries or sanitized before the sink.
+
+/// Sanctioned boundary: `MonotonicClock::now_us` may read ambient time —
+/// tests freeze it — so its taint must not propagate to callers.
+impl MonotonicClock {
+    pub fn now_us(&self) -> u64 {
+        let t = Instant::now();
+        t.elapsed().as_micros() as u64
+    }
+}
+
+fn sim_now(clock: &MonotonicClock) -> u64 {
+    clock.now_us()
+}
+
+/// Sink primitive fed only through the sanctioned clock: clean.
+pub fn state_digest(clock: &MonotonicClock) -> u64 {
+    sim_now(clock)
+}
+
+/// Hash-order source sanitized at function granularity: the contents are
+/// sorted before they leave, so the hash class is cleared here.
+fn sorted_counts(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = m.values().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Emission sink fed only through the sanitizing function: clean.
+pub fn emit_summary(world: &World) {
+    let v = sorted_counts(world.counts());
+    obs::event!("fixture.sorted", n = v.len());
+}

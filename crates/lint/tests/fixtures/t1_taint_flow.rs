@@ -1,0 +1,30 @@
+//! T1 positive fixture: determinism taint reaching ordering-sensitive
+//! sinks across function boundaries. Linted as if in `crates/core`.
+
+/// Ambient-time source: reads the wall clock.
+fn ambient_seed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// Middle hop: no source of its own, inherits taint from `ambient_seed`.
+fn fold_state(x: u64) -> u64 {
+    ambient_seed() ^ x
+}
+
+/// Sink primitive (by name): the taint arrives two calls deep, so the
+/// finding must carry a multi-step flow trace.
+pub fn state_digest(seed: u64) -> u64 {
+    fold_state(seed)
+}
+
+/// Hash-iteration-order source feeding an emission sink directly: the
+/// values come out in `HashMap` order and go straight into telemetry.
+fn order_counts(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+pub fn report(m: &HashMap<u32, u32>) {
+    let v = order_counts(m);
+    obs::event!("fixture.report", n = v.len());
+}

@@ -5,6 +5,7 @@
 //! is linted as if it lived at a path inside the rule's scope. Deleting any
 //! rule's implementation makes at least one of these tests fail.
 
+use peercache_lint::waivers::{current_pr_from_changes, stale_waivers};
 use peercache_lint::{apply_waivers, lint_source, parse_waivers, Violation};
 
 fn fixture(name: &str) -> String {
@@ -172,6 +173,8 @@ rule = "S1"
 file = "crates/dist/src/view.rs"
 contains = "AllPairsPaths::compute(g, costs"
 justification = "fixture: bounded-subgraph compute, deliberately waived"
+added_in = "PR 9"
+re_audit_after = "PR 14"
 "#,
     )
     .unwrap();
@@ -247,6 +250,8 @@ rule = "P1"
 file = "crates/dist/src/fixture.rs"
 contains = "slot.expect("
 justification = "fixture: deliberately waived"
+added_in = "PR 9"
+re_audit_after = "PR 14"
 "#,
     )
     .unwrap();
@@ -270,6 +275,8 @@ rule = "N1"
 file = "crates/core/src/fixture.rs"
 contains = "this snippet no longer exists"
 justification = "stale entry"
+added_in = "PR 9"
+re_audit_after = "PR 14"
 "#,
     )
     .unwrap();
@@ -278,11 +285,24 @@ justification = "stale entry"
     assert_eq!(report.unused, vec![0]);
 }
 
+/// A complete, valid waiver entry with the given rule, for budget tests.
+fn entry(rule: &str, n: usize) -> String {
+    format!(
+        "[[waiver]]\nrule = \"{rule}\"\nfile = \"crates/x/src/f{n}.rs\"\n\
+         contains = \"site{n}\"\n\
+         justification = \"budget fixture entry with a long enough justification text\"\n\
+         added_in = \"PR 9\"\nre_audit_after = \"PR 14\"\n"
+    )
+}
+
 #[test]
 fn waiver_parser_rejects_malformed_entries() {
-    // Missing justification.
-    let err = parse_waivers("[[waiver]]\nrule = \"D1\"\nfile = \"x.rs\"\ncontains = \"HashMap\"\n")
-        .unwrap_err();
+    // Missing justification (stamps present so the gap is unambiguous).
+    let err = parse_waivers(
+        "[[waiver]]\nrule = \"D1\"\nfile = \"x.rs\"\ncontains = \"HashMap\"\n\
+         added_in = \"PR 9\"\nre_audit_after = \"PR 14\"\n",
+    )
+    .unwrap_err();
     assert!(err.contains("justification"), "{err}");
     // Unknown key.
     let err = parse_waivers("[[waiver]]\nrule = \"D1\"\nline = \"12\"\n").unwrap_err();
@@ -293,6 +313,73 @@ fn waiver_parser_rejects_malformed_entries() {
     // Unquoted value.
     let err = parse_waivers("[[waiver]]\nrule = D1\n").unwrap_err();
     assert!(err.contains("double-quoted"), "{err}");
+}
+
+#[test]
+fn waiver_parser_requires_pr_stamps() {
+    // Missing added_in.
+    let err = parse_waivers(
+        "[[waiver]]\nrule = \"D1\"\nfile = \"x.rs\"\ncontains = \"HashMap\"\n\
+         justification = \"a justification long enough to clear the length gate\"\n",
+    )
+    .unwrap_err();
+    assert!(err.contains("added_in"), "{err}");
+    // Malformed stamp.
+    let err = parse_waivers(
+        "[[waiver]]\nrule = \"D1\"\nfile = \"x.rs\"\ncontains = \"HashMap\"\n\
+         justification = \"a justification long enough to clear the length gate\"\n\
+         added_in = \"nine\"\nre_audit_after = \"PR 14\"\n",
+    )
+    .unwrap_err();
+    assert!(err.contains("PR 9"), "{err}");
+    // re_audit_after before added_in.
+    let err = parse_waivers(
+        "[[waiver]]\nrule = \"D1\"\nfile = \"x.rs\"\ncontains = \"HashMap\"\n\
+         justification = \"a justification long enough to clear the length gate\"\n\
+         added_in = \"PR 9\"\nre_audit_after = \"PR 8\"\n",
+    )
+    .unwrap_err();
+    assert!(err.contains("precedes"), "{err}");
+}
+
+#[test]
+fn waiver_budgets_are_hard_limits() {
+    // 11 entries breach the total budget of 10.
+    let text: String = (0..11)
+        .map(|n| entry(["D1", "D2", "P1", "N1"][n % 4], n))
+        .collect();
+    let err = parse_waivers(&text).unwrap_err();
+    assert!(err.contains("budget"), "{err}");
+    // 5 entries for one rule breach the per-rule budget of 4.
+    let text: String = (0..5).map(|n| entry("N1", n)).collect();
+    let err = parse_waivers(&text).unwrap_err();
+    assert!(err.contains("per-rule"), "{err}");
+    // 10 total with at most 4 per rule parses.
+    let text: String = (0..10)
+        .map(|n| entry(["D1", "D2", "P1", "N1"][n % 4], n))
+        .collect();
+    assert_eq!(parse_waivers(&text).unwrap().len(), 10);
+}
+
+#[test]
+fn stale_waiver_metadata_is_reported() {
+    let waivers = parse_waivers(&entry("N1", 0)).unwrap();
+    // At or before the re-audit PR: fresh.
+    assert!(stale_waivers(&waivers, 9).is_empty());
+    assert!(stale_waivers(&waivers, 14).is_empty());
+    // Past it: stale, with an actionable message.
+    let stale = stale_waivers(&waivers, 15);
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].1.contains("re-audit"), "{}", stale[0].1);
+}
+
+#[test]
+fn current_pr_is_derived_from_changes_md() {
+    assert_eq!(current_pr_from_changes(""), 1);
+    assert_eq!(
+        current_pr_from_changes("- PR 3: things\n- PR 8: more things\n- PR 5: other\n"),
+        9
+    );
 }
 
 #[test]

@@ -418,7 +418,6 @@ mod tests {
             "planner.contention_bytes",
             "planner.region_count",
             "planner.scale",
-            "bench.scale",
         ] {
             assert!(crate::names::is_registered(n), "{n} missing from registry");
         }

@@ -16,7 +16,6 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "apsp.update",
     "apsp.update_topology",
     "bench.run",
-    "bench.scale",
     "bench.walltime_by_size",
     "core.dual_ascent",
     "dist.cross_shard_msgs",
@@ -44,7 +43,6 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "dist.msg.pong",
     "dist.msg.span",
     "dist.msg.tight",
-    "dist.msgs_sent",
     "dist.plan",
     "dist.retry",
     "dist.round",

@@ -1,11 +1,41 @@
 //! The JSONL sink behind `PEERCACHE_TRACE`.
 
+use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::value::{write_json_string, Value};
+
+thread_local! {
+    /// Per-thread emission suppression flag; see [`with_quiet`].
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with observability emission suppressed on this thread:
+/// spans, events, and raw records become no-ops until it returns.
+///
+/// This is the sanctioned way to call potentially-emitting code from
+/// inside a thread fan-out (lint rule C1): worker threads must not
+/// interleave the shared JSONL stream or skew span counts, so the
+/// deterministic serial arm and the threaded arm of a fan-out both
+/// wrap their per-item work in `with_quiet`, keeping emitted traces
+/// identical across `Parallelism` settings. Metric *values* (atomic
+/// counters/gauges) still update; only record emission is suppressed.
+pub fn with_quiet<R>(f: impl FnOnce() -> R) -> R {
+    QUIET.with(|q| {
+        let prev = q.replace(true);
+        let out = f();
+        q.set(prev);
+        out
+    })
+}
+
+/// Whether emission is currently suppressed on this thread.
+pub(crate) fn is_quiet() -> bool {
+    QUIET.with(Cell::get)
+}
 
 /// Where trace records go.
 enum Sink {
@@ -52,6 +82,9 @@ pub(crate) fn ts_us() -> u64 {
 /// emitted first, then `extra` (pre-rendered JSON members, e.g.
 /// `"dur_us":12`), then the fields.
 pub(crate) fn write_record(kind: &str, name: &str, extra: &str, fields: &[(&str, Value)]) {
+    if is_quiet() {
+        return;
+    }
     let Some(sink) = sink() else { return };
     let mut line = String::with_capacity(96 + 24 * fields.len());
     line.push_str("{\"ts_us\":");

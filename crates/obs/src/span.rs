@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use crate::sink::{enabled, write_record};
+use crate::sink::{enabled, is_quiet, write_record};
 use crate::value::Value;
 
 /// A timed section of code. Created by [`span`] (or the [`crate::span!`]
@@ -24,7 +24,7 @@ struct SpanInner {
 /// Starts a span named `name`. Near-zero-cost no-op when tracing is
 /// off (no allocation, no clock read).
 pub fn span(name: &'static str) -> Span {
-    let inner = enabled().then(|| SpanInner {
+    let inner = (enabled() && !is_quiet()).then(|| SpanInner {
         name,
         start: Instant::now(),
         fields: Vec::new(),
@@ -64,7 +64,7 @@ impl Drop for Span {
 /// that build fields dynamically should guard with [`enabled`] (the
 /// [`crate::event!`] macro does).
 pub fn event(name: &str, fields: &[(&str, Value)]) {
-    if enabled() {
+    if enabled() && !is_quiet() {
         write_record("event", name, "", fields);
     }
 }

@@ -20,6 +20,14 @@ run cargo fmt --all --check
 # Domain rules first (D1/D2/P1/N1/O1, see DESIGN.md §11): fails on any
 # unwaived violation or stale entry in lint-waivers.toml.
 run cargo run -p peercache-lint --quiet
+if [[ $fast -eq 0 ]]; then
+    # Deep semantic pass (T1/C1/A1, see DESIGN.md §16): item parser +
+    # call graph + dataflow over the whole workspace, machine-readable
+    # report for `repro lint`, hard wall-time budget so the stage can
+    # never quietly grow past interactive use.
+    run cargo run -p peercache-lint --quiet -- --deep \
+        --json target/lint-report.json --budget-ms 5000
+fi
 run cargo clippy --workspace --all-targets -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 if [[ $fast -eq 0 ]]; then
@@ -58,5 +66,7 @@ if [[ $fast -eq 0 ]]; then
     # Trace-analyzer smoke on the committed chaos capture: span forest,
     # latency table, and critical path must all render without orphans.
     run cargo run -q --release --bin repro -- trace tests/fixtures/chaos_fixture.jsonl
+    # Static-analysis summary from the deep pass's JSON report.
+    run cargo run -q --release --bin repro -- lint target/lint-report.json
 fi
 echo "==> all checks passed"
