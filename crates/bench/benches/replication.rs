@@ -1,0 +1,70 @@
+//! Replication matrix: durability, SWIM detection lag, repair traffic,
+//! and replica-load fairness versus replication degree R and fault
+//! intensity.
+//!
+//! One seeded chaos trace (two 2-node death batches, a crash-restart,
+//! SWIM-driven departures, versioned replicas with anti-entropy) runs
+//! per `(R, intensity)` cell. The cell logic lives in
+//! [`peercache_bench::replication_cells`], shared with the `repro
+//! replication` table and the `repro perf` regression gate so the
+//! committed baseline and the gate can never measure different things.
+//! Besides the criterion display, the bench writes
+//! `BENCH_replication.json` at the repository root with per-cell
+//! durability, detection, recovery, and fairness numbers. Set
+//! `PEERCACHE_BENCH_QUICK=1` for a fast smoke variant that skips the
+//! JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use peercache_bench::replication_cells::{render_json, run_cell, DEGREES, INTENSITIES};
+
+fn quick_mode() -> bool {
+    std::env::var("PEERCACHE_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn replication_matrix(c: &mut Criterion) {
+    let quick = quick_mode();
+
+    // Criterion display: the R = 3 trace at the middle intensity.
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(10);
+    group.bench_function("trace_r3_at_0.05", |b| b.iter(|| run_cell(3, 0.05)));
+    group.finish();
+
+    let degrees: &[usize] = if quick { &DEGREES[..1] } else { &DEGREES };
+    let intensities: &[f64] = if quick {
+        &INTENSITIES[..1]
+    } else {
+        &INTENSITIES
+    };
+    let mut cells = Vec::new();
+    for &degree in degrees {
+        for &intensity in intensities {
+            cells.push(run_cell(degree, intensity));
+        }
+    }
+    for c in &cells {
+        eprintln!(
+            "R={} intensity={:.2}: durability {:.4} ({}/{} lost), {} confirmed (lag max {}), {} repairs, {} recovered, min copies {}, gini {:.4}",
+            c.degree,
+            c.intensity,
+            c.durability(),
+            c.lost_writes,
+            c.at_risk,
+            c.confirmed,
+            c.detect_lag_max,
+            c.repairs,
+            c.recovery_chunks,
+            c.min_copies,
+            c.replica_gini
+        );
+    }
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_replication.json");
+        std::fs::write(path, render_json(&cells)).expect("write BENCH_replication.json");
+        eprintln!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, replication_matrix);
+criterion_main!(benches);

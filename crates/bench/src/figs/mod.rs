@@ -14,16 +14,29 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod replication;
 pub mod scale;
 pub mod shard;
 
 use crate::harness::Table;
 
-/// Figure ids in paper order, plus the `churn`, `chaos`, `scale`, and
-/// `shard` extension tables.
-pub const ALL: [&str; 13] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "churn", "chaos",
-    "scale", "shard",
+/// Figure ids in paper order, plus the `churn`, `chaos`, `scale`,
+/// `shard`, and `replication` extension tables.
+pub const ALL: [&str; 14] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "churn",
+    "chaos",
+    "scale",
+    "shard",
+    "replication",
 ];
 
 /// Dispatches a figure by id.
@@ -44,6 +57,7 @@ pub fn run(id: &str) -> Vec<Table> {
         "fig9" => fig9::run(),
         "churn" => churn::run(),
         "chaos" => chaos::run(),
+        "replication" => replication::run(),
         "scale" => scale::run(),
         "shard" => shard::run(),
         other => panic!("unknown figure id: {other}"),

@@ -25,6 +25,7 @@ pub mod figs;
 pub mod harness;
 pub mod perf;
 pub mod planning_cells;
+pub mod replication_cells;
 pub mod repro;
 pub mod scale_cells;
 pub mod shard_cells;

@@ -1,10 +1,10 @@
 //! `repro perf [--check]` — the perf-regression gate.
 //!
-//! Re-measures the five committed baselines (`BENCH_planning.json`,
+//! Re-measures the six committed baselines (`BENCH_planning.json`,
 //! `BENCH_churn.json`, `BENCH_chaos.json`, `BENCH_scale.json`,
-//! `BENCH_shard.json`) through the same shared cell modules the
-//! criterion benches use, then diffs fresh against committed field by
-//! field:
+//! `BENCH_shard.json`, `BENCH_replication.json`) through the same
+//! shared cell modules the criterion benches use, then diffs fresh
+//! against committed field by field:
 //!
 //! * **wall-time fields** (`*_ms`, `*_wall*`, `*speedup*`) get a
 //!   generous ratio band — they vary with the machine; the gate only
@@ -20,7 +20,9 @@
 
 use peercache_obs::Json;
 
-use crate::{chaos_cells, churn_cells, planning_cells, scale_cells, shard_cells};
+use crate::{
+    chaos_cells, churn_cells, planning_cells, replication_cells, scale_cells, shard_cells,
+};
 
 /// Default multiplicative band for wall-time fields: fresh must lie in
 /// `[committed / band, committed * band]`.
@@ -166,8 +168,8 @@ pub struct Baseline {
     pub fresh: fn() -> String,
 }
 
-/// The five gated baselines.
-pub const BASELINES: [Baseline; 5] = [
+/// The six gated baselines.
+pub const BASELINES: [Baseline; 6] = [
     Baseline {
         file: "BENCH_planning.json",
         fresh: || {
@@ -223,6 +225,10 @@ pub const BASELINES: [Baseline; 5] = [
             let rows = shard_cells::run_sweep(shard_cells::GRID_SIDE, shard_cells::TICKS);
             shard_cells::render_json(shard_cells::GRID_SIDE, shard_cells::TICKS, &rows)
         },
+    },
+    Baseline {
+        file: "BENCH_replication.json",
+        fresh: || replication_cells::render_json(&replication_cells::run_matrix()),
     },
 ];
 

@@ -200,7 +200,9 @@ fn perf_mode(args: &[String]) -> ExitCode {
 /// process exit code.
 pub fn main_with_args(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: repro [all | fig1 .. fig9 | churn | chaos | scale | shard]...");
+        eprintln!(
+            "usage: repro [all | fig1 .. fig9 | churn | chaos | scale | shard | replication]..."
+        );
         eprintln!("       repro            (no args: run summary over every planner)");
         eprintln!("       repro trace <file.jsonl>   (span-forest analysis of a sink capture)");
         eprintln!("       repro perf [--check]       (diff fresh bench numbers vs BENCH_*.json)");

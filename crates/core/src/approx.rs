@@ -40,9 +40,10 @@ use crate::placement::Placement;
 use peercache_obs as obs;
 
 use crate::planner::{
-    chunk_span, commit_chunk, finish_chunk_span, improve_by_removal, improve_by_removal_reference,
-    prune_unused_facilities, CachePlanner,
+    chunk_span, commit_chunk_replicated, finish_chunk_span, improve_by_removal,
+    improve_by_removal_reference, prune_unused_facilities, CachePlanner,
 };
+use crate::replication::ReplicationPolicy;
 use crate::{ChunkId, CoreError, Network};
 
 /// Tuning parameters of the approximation algorithm.
@@ -70,6 +71,12 @@ pub struct ApproxConfig {
     /// this oracle by the determinism regression tests; production code
     /// has no reason to enable it.
     pub reference_mode: bool,
+    /// R-copy replication: after the ascent settles a chunk's facility
+    /// set, top it up to [`ReplicationPolicy::degree`] copies under the
+    /// per-node replica-load fairness cap. The default single-copy
+    /// policy leaves every planner byte-identical to the pre-replication
+    /// pipeline.
+    pub replication: ReplicationPolicy,
 }
 
 impl Default for ApproxConfig {
@@ -91,6 +98,7 @@ impl Default for ApproxConfig {
             selection: PathSelection::FewestHops,
             parallelism: Parallelism::Auto,
             reference_mode: false,
+            replication: ReplicationPolicy::default(),
         }
     }
 }
@@ -113,6 +121,7 @@ impl ApproxConfig {
                 "span_threshold must be at least 1".into(),
             ));
         }
+        self.replication.validate()?;
         Ok(())
     }
 }
@@ -736,7 +745,8 @@ impl CachePlanner for ApproxPlanner {
                 improve_by_removal(net, &inst, &facilities)?
             };
             let improve_us = clock.lap_us();
-            let cp = commit_chunk(net, &inst, chunk, &facilities)?;
+            let cp =
+                commit_chunk_replicated(net, &inst, chunk, &facilities, &self.config.replication)?;
             // The commit phase evaluates the final set, which includes
             // building the Steiner dissemination tree.
             let steiner_commit_us = clock.lap_us();

@@ -63,6 +63,7 @@ pub mod metrics;
 pub mod online;
 pub mod placement;
 pub mod planner;
+pub mod replication;
 pub mod report;
 pub mod scoped;
 pub mod shard;
@@ -74,6 +75,7 @@ pub mod world;
 
 pub use error::CoreError;
 pub use model::{ChunkId, Departure, Network, PartitionPolicy};
+pub use replication::ReplicationPolicy;
 pub use shard::{ArenaRow, CrossShardEvent, PlacementArena, ShardRouter, WorldShard};
 pub use sharded::{ShardConfig, ShardedWorld, TickReport};
 pub use world::{CacheWorld, PartitionEvent, WorldEvent};

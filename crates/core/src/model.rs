@@ -402,6 +402,15 @@ impl Network {
             .collect()
     }
 
+    /// Number of cached copies of `chunk` (producer excluded): the
+    /// replication degree the chunk currently enjoys.
+    pub fn replica_count(&self, chunk: ChunkId) -> usize {
+        self.graph
+            .nodes()
+            .filter(|&n| self.is_cached(n, chunk))
+            .count()
+    }
+
     /// Caches `chunk` on `node`, consuming one storage slot.
     ///
     /// # Errors

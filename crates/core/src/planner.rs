@@ -223,6 +223,46 @@ pub fn commit_chunk(
     Ok(placement)
 }
 
+/// [`commit_chunk`] with R-copy replication: tops the facility set up
+/// to `policy.degree` copies (fairness-capped, see
+/// [`crate::replication::top_up_targets`]) before evaluating and
+/// committing, so the assignment may serve clients from replicas and
+/// the dissemination tree is the Steiner tree over *all* R copies plus
+/// the producer (the R-connected objective). Replica fairness cost is
+/// priced exactly like any opened facility via
+/// [`ConflInstance::evaluate_set`].
+///
+/// A single-copy policy delegates to [`commit_chunk`] unchanged — the
+/// pre-replication pipeline stays byte-identical.
+///
+/// # Errors
+///
+/// Same as [`commit_chunk`].
+pub fn commit_chunk_replicated(
+    net: &mut Network,
+    inst: &ConflInstance,
+    chunk: ChunkId,
+    facilities: &[NodeId],
+    policy: &crate::replication::ReplicationPolicy,
+) -> Result<ChunkPlacement, CoreError> {
+    if policy.is_single_copy() {
+        return commit_chunk(net, inst, chunk, facilities);
+    }
+    let mut caches: Vec<NodeId> = facilities.to_vec();
+    caches.sort_unstable();
+    caches.dedup();
+    let extra = crate::replication::top_up_targets(
+        net,
+        &caches,
+        policy,
+        |i| inst.facility_cost(i),
+        |a, b| inst.connection_cost(a, b),
+        inst.producer(),
+    );
+    caches.extend(extra);
+    commit_chunk(net, inst, chunk, &caches)
+}
+
 /// Convenience: runs a planner on a fresh clone of `net` without
 /// mutating the original; returns the placement and the final state.
 ///

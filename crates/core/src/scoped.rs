@@ -691,6 +691,33 @@ impl CachePlanner for HierarchicalPlanner {
             );
             let improve_us = clock.lap_us();
 
+            // R-copy durability floor (a no-op for the default
+            // single-copy policy): top the pruned set up to the
+            // replication degree under the replica-load cap, then
+            // re-derive providers so a client may be served by a
+            // replica that landed inside its region's demand ball. The
+            // trunk tree below unions the SPT paths of *all* R copies —
+            // the R-connected dissemination objective.
+            let extra = crate::replication::top_up_targets(
+                net,
+                &current,
+                &self.config.replication,
+                |i| facility_cost[i.index()],
+                |a, b| weights.contention * scoped.cost(a, b),
+                producer,
+            );
+            if !extra.is_empty() {
+                current.extend(extra);
+                current.sort_unstable();
+                let by_ball = facilities_by_region(&scoped, &current);
+                for (idx, &j) in audience.iter().enumerate() {
+                    let options = &by_ball[scoped.partition().region_of(j)];
+                    let (p, c) = best_provider(&scoped, weights, producer, options, j, None);
+                    providers[idx] = p;
+                    costs[idx] = c;
+                }
+            }
+
             let (tree_edges, tree_cost) = trunk_tree(&scoped, producer, &spt_parent, &current);
             let fairness: f64 = current.iter().map(|&i| facility_cost[i.index()]).sum();
             let access: f64 = costs.iter().sum();

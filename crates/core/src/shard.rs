@@ -130,6 +130,13 @@ pub struct PlacementArena {
     free: u32,
     /// Live rows.
     live: usize,
+    /// Cached copies pinned per member (parallel to `members`): the
+    /// shard-local replica-load counter the replication fairness cap
+    /// and the load Gini read without a network scan. Maintained by
+    /// the sharded world at every copy commit/evict; a distributed
+    /// deployment would piggyback these pins on the RemoteCopy /
+    /// Retire traffic that is already routed and counted.
+    replica_load: Vec<u32>,
 }
 
 impl PlacementArena {
@@ -137,12 +144,54 @@ impl PlacementArena {
     pub fn new(members: Vec<NodeId>) -> PlacementArena {
         debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
         let heads = vec![NIL; members.len()];
+        let replica_load = vec![0u32; members.len()];
         PlacementArena {
             members,
             heads,
             cells: Vec::new(),
             free: NIL,
             live: 0,
+            replica_load,
+        }
+    }
+
+    /// Cached copies currently pinned on `member`; zero for
+    /// non-members.
+    pub fn replica_load(&self, member: NodeId) -> u32 {
+        self.slot_of(member)
+            .map_or(0, |slot| self.replica_load[slot])
+    }
+
+    /// Per-member replica loads, parallel to [`PlacementArena::members`].
+    pub fn replica_loads(&self) -> &[u32] {
+        &self.replica_load
+    }
+
+    /// Pins one cached copy on `member`. Returns `false` (and drops the
+    /// pin) for a non-member.
+    pub fn pin_replica(&mut self, member: NodeId) -> bool {
+        let Some(slot) = self.slot_of(member) else {
+            return false;
+        };
+        self.replica_load[slot] = self.replica_load[slot].saturating_add(1);
+        true
+    }
+
+    /// Unpins one cached copy from `member` (saturating). Returns
+    /// `false` for a non-member.
+    pub fn unpin_replica(&mut self, member: NodeId) -> bool {
+        let Some(slot) = self.slot_of(member) else {
+            return false;
+        };
+        self.replica_load[slot] = self.replica_load[slot].saturating_sub(1);
+        true
+    }
+
+    /// Zeroes `member`'s pins (the node departed with every copy it
+    /// hosted).
+    pub fn clear_replicas(&mut self, member: NodeId) {
+        if let Some(slot) = self.slot_of(member) {
+            self.replica_load[slot] = 0;
         }
     }
 

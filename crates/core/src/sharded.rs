@@ -54,9 +54,10 @@ use crate::instance::ConflInstance;
 use crate::instance::SetCosts;
 use crate::placement::ChunkPlacement;
 use crate::planner::{chunk_span, finish_chunk_span};
+use crate::replication::top_up_targets;
 use crate::scoped::{
-    ascend_regions, assign_and_prune, best_provider, improve_by_scoped_removal, trunk_tree,
-    ScopedConfig, ScopedContention,
+    ascend_regions, assign_and_prune, best_provider, facilities_by_region,
+    improve_by_scoped_removal, trunk_tree, ScopedConfig, ScopedContention,
 };
 use crate::shard::{ArenaRow, CrossShardEvent, ShardRouter, WorldShard};
 use crate::world::WorldEvent;
@@ -218,6 +219,10 @@ impl ShardedWorld {
         let w = world.weights();
         for chunk in live {
             let caches = world.net.holders(chunk);
+            for &holder in &caches {
+                let home = world.shard_of[holder.index()] as usize;
+                world.shards[home].arena_mut().pin_replica(holder);
+            }
             for j in world.net.interested_clients(chunk) {
                 let r = world.scoped.partition().region_of(j);
                 let options: Vec<NodeId> = caches
@@ -426,6 +431,8 @@ impl ShardedWorld {
                                 }
                             }
                         }
+                        let home = self.shard_of[node.index()] as usize;
+                        self.shards[home].arena_mut().clear_replicas(*node);
                         report.departed.push(*node);
                         departures.push(DepartureRec {
                             node: *node,
@@ -502,6 +509,8 @@ impl ShardedWorld {
         report.cross_events = self.router.total_routed() - routed_before;
         obs::gauge("world.shard_count").set(self.shards.len() as i64);
         obs::counter("world.cross_shard_events").add(report.cross_events);
+        let replicas: usize = self.chunks.values().map(|sc| sc.caches.len()).sum();
+        obs::gauge("world.replicas").set(replicas as i64);
         obs::gauge("shard.queue_depth").set(self.max_queue_depth as i64);
         self.max_queue_depth = 0;
         if span.is_recording() {
@@ -534,6 +543,8 @@ impl ShardedWorld {
         };
         for &holder in &sc.caches {
             self.net.uncache(holder, chunk);
+            let home = self.shard_of[holder.index()] as usize;
+            self.shards[home].arena_mut().unpin_replica(holder);
             touched.push(holder);
         }
         let owner = self.shard_of[self.net.producer().index()];
@@ -585,6 +596,14 @@ impl ShardedWorld {
             self.shards[home]
                 .arena_mut()
                 .set(row.client, row.chunk, row.provider, row.cost_bits);
+        }
+        // The fresh arenas start with zero replica pins; re-pin every
+        // live copy under the new homes.
+        for sc in self.chunks.values() {
+            for &holder in &sc.caches {
+                let home = self.shard_of[holder.index()] as usize;
+                self.shards[home].arena_mut().pin_replica(holder);
+            }
         }
         // Adoption notices + rows for the newcomers' demand. The
         // newcomer's home shard owns the adoption; its rows are local
@@ -721,6 +740,8 @@ impl ShardedWorld {
                     sc.caches.insert(at, *i);
                 }
             }
+            let home = self.shard_of[i.index()] as usize;
+            self.shards[home].arena_mut().pin_replica(*i);
             dirty.push(*i);
             report.copies_restored.push((chunk, *i));
             let decider = orphans[&chunk]
@@ -732,6 +753,49 @@ impl ShardedWorld {
             if holder_home != decider {
                 self.router
                     .send(holder_home, CrossShardEvent::RemoteCopy { chunk, node: *i });
+            }
+        }
+        // (c2) R-copy refill, serial in chunk order (a no-op for the
+        // default single-copy policy): every live chunk that lost a
+        // copy — orphaned demand or not — is topped back up to the
+        // replication degree under the replica-load cap, so durability
+        // survives deaths whose audience was served elsewhere.
+        let policy = self.cfg.approx.replication;
+        if !policy.is_single_copy() {
+            let mut deficit: Vec<ChunkId> = departures
+                .iter()
+                .flat_map(|d| d.lost.iter().copied())
+                .filter(|c| self.chunks.contains_key(c))
+                .collect();
+            deficit.sort_unstable();
+            deficit.dedup();
+            let decider = self.shard_of[producer.index()];
+            for chunk in deficit {
+                let holders = self.chunks[&chunk].caches.clone();
+                let extra = top_up_targets(
+                    &self.net,
+                    &holders,
+                    &policy,
+                    |i| fc[i.index()],
+                    |a, b| w.contention * self.scoped.cost(a, b),
+                    producer,
+                );
+                for i in extra {
+                    self.net.cache(i, chunk)?;
+                    if let Some(sc) = self.chunks.get_mut(&chunk) {
+                        if let Err(at) = sc.caches.binary_search(&i) {
+                            sc.caches.insert(at, i);
+                        }
+                    }
+                    let home = self.shard_of[i.index()];
+                    self.shards[home as usize].arena_mut().pin_replica(i);
+                    dirty.push(i);
+                    report.copies_restored.push((chunk, i));
+                    if home != decider {
+                        self.router
+                            .send(home, CrossShardEvent::RemoteCopy { chunk, node: i });
+                    }
+                }
             }
         }
         if !dirty.is_empty() {
@@ -858,9 +922,35 @@ impl ShardedWorld {
             &mut providers,
             &mut costs,
         );
+        // R-copy durability floor (a no-op for the default single-copy
+        // policy): top the pruned set up to the replication degree
+        // under the replica-load cap, then re-derive providers so a
+        // client may be served by a replica inside its region's demand
+        // ball. The trunk tree unions the SPT paths of all R copies.
+        let extra = top_up_targets(
+            &self.net,
+            &current,
+            &self.cfg.approx.replication,
+            |i| fc[i.index()],
+            |a, b| w.contention * self.scoped.cost(a, b),
+            producer,
+        );
+        if !extra.is_empty() {
+            current.extend(extra);
+            current.sort_unstable();
+            let by_ball = facilities_by_region(&self.scoped, &current);
+            for (idx, &j) in audience.iter().enumerate() {
+                let options = &by_ball[self.scoped.partition().region_of(j)];
+                let (p, c) = best_provider(&self.scoped, w, producer, options, j, None);
+                providers[idx] = p;
+                costs[idx] = c;
+            }
+        }
         let (tree_edges, tree_cost) = trunk_tree(&self.scoped, producer, &spt_parent, &current);
         for &i in &current {
             self.net.cache(i, chunk)?;
+            let home = self.shard_of[i.index()] as usize;
+            self.shards[home].arena_mut().pin_replica(i);
         }
         // Commit rows and copies, shard by shard: the producer's home
         // shard writes locally, everything else goes over the router.
@@ -1069,6 +1159,24 @@ impl ShardedWorld {
             let node = NodeId::new(u);
             if self.net.used(node) > self.net.capacity(node) {
                 return fail(format!("node {node} over capacity"));
+            }
+        }
+        // Replica-load pins mirror the live copies each member hosts.
+        let mut hosted = vec![0u32; self.net.node_count()];
+        for sc in self.chunks.values() {
+            for &holder in &sc.caches {
+                hosted[holder.index()] += 1;
+            }
+        }
+        for shard in &self.shards {
+            for &m in shard.members() {
+                let pinned = shard.arena().replica_load(m);
+                if pinned != hosted[m.index()] {
+                    return fail(format!(
+                        "node {m} replica pins {pinned} != live copies hosted {}",
+                        hosted[m.index()]
+                    ));
+                }
             }
         }
         Ok(())

@@ -37,7 +37,7 @@ use crate::approx::{dual_ascent, ApproxConfig};
 use crate::costs::ContentionMatrix;
 use crate::instance::{ConflInstance, SetCosts};
 use crate::placement::{recost_final, ChunkPlacement, Placement};
-use crate::planner::{commit_chunk, prune_unused_facilities};
+use crate::planner::{commit_chunk_replicated, prune_unused_facilities};
 use crate::scoped::ScopedConfig;
 use crate::sharded::{ShardConfig, ShardedWorld};
 use crate::{ChunkId, CoreError, Network, PartitionPolicy};
@@ -803,7 +803,13 @@ impl CacheWorld {
             );
             let (facilities, _) = dual_ascent(&oracle, &inst, &self.config)?;
             let facilities = prune_unused_facilities(&oracle, &inst, &facilities);
-            let cp = commit_chunk(&mut oracle, &inst, chunk, &facilities)?;
+            let cp = commit_chunk_replicated(
+                &mut oracle,
+                &inst,
+                chunk,
+                &facilities,
+                &self.config.replication,
+            )?;
             matrix = inst.into_matrix();
             let mut dirty = cp.caches.clone();
             dirty.push(oracle.producer());
@@ -859,7 +865,13 @@ impl CacheWorld {
         let inst = self.build_instance(chunk)?;
         let (facilities, stats) = dual_ascent(&self.net, &inst, &self.config)?;
         let facilities = prune_unused_facilities(&self.net, &inst, &facilities);
-        let placement = commit_chunk(&mut self.net, &inst, chunk, &facilities)?;
+        let placement = commit_chunk_replicated(
+            &mut self.net,
+            &inst,
+            chunk,
+            &facilities,
+            &self.config.replication,
+        )?;
         let mut matrix = inst.into_matrix();
         let mut dirty = placement.caches.clone();
         dirty.push(self.net.producer());
@@ -1047,7 +1059,28 @@ impl CacheWorld {
         let solver = steiner::SteinerSolver::new(self.net.graph(), &universe, |u, v| {
             inst.matrix().edge_cost(u, v)
         })?;
-        let newly = trim_new_facilities(&self.net, &inst, &survivors, newly, &solver)?;
+        let mut newly = trim_new_facilities(&self.net, &inst, &survivors, newly, &solver)?;
+        // R-copy durability floor: the trim keeps only facilities that
+        // earn their keep serving orphans, which can leave the chunk
+        // below the replication degree after a death. Top back up over
+        // the post-trim set; the extras are priced and committed below
+        // exactly like ascent-opened facilities.
+        let extra = {
+            let mut base = survivors.clone();
+            base.extend(newly.iter().copied());
+            base.sort_unstable();
+            base.dedup();
+            crate::replication::top_up_targets(
+                &self.net,
+                &base,
+                &self.config.replication,
+                |i| inst.facility_cost(i),
+                |a, b| inst.connection_cost(a, b),
+                inst.producer(),
+            )
+        };
+        newly.extend(extra.iter().copied());
+        newly.sort_unstable();
         let mut caches = survivors.clone();
         caches.extend(newly.iter().copied());
         caches.sort_unstable();
@@ -1058,7 +1091,16 @@ impl CacheWorld {
             .filter(|&c| self.net.in_producer_component(c))
             .collect();
         terminals.push(inst.producer());
-        let tree = solver.tree(&terminals)?;
+        // The shared solver's universe predates the replica top-up, so
+        // an R-extended terminal set needs the direct Steiner solve;
+        // the single-copy path keeps the solver reuse byte-identical.
+        let tree = if extra.is_empty() {
+            solver.tree(&terminals)?
+        } else {
+            steiner::steiner_tree(self.net.graph(), &terminals, |u, v| {
+                inst.matrix().edge_cost(u, v)
+            })?
+        };
         let eval = HolderEval {
             assignment,
             tree_edges: tree.edges,
@@ -1492,6 +1534,7 @@ fn trim_new_facilities<W: Fn(NodeId, NodeId) -> f64>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::planner::commit_chunk;
     use crate::workload::paper_grid;
 
     fn world() -> CacheWorld {

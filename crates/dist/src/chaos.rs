@@ -324,6 +324,15 @@ impl ChaosState {
             .copied()
             .collect();
         deaths.sort_unstable_by_key(|&(t, n)| (t, n));
+        // A node dies exactly once: when both the plan and the legacy
+        // list schedule it (or one tick lists it twice), only the
+        // earliest entry survives. `deaths_due` batches therefore never
+        // double-report a node, which is what lets simultaneous deaths
+        // at one tick be counted per *node* by the ≤R−1 durability
+        // oracle — and what spares every consumer the re-death guard
+        // the simulator used to need.
+        let mut seen = std::collections::BTreeSet::new();
+        deaths.retain(|&(_, n)| seen.insert(n));
         let rng = if plan.needs_rng() {
             Some(ChaCha8Rng::seed_from_u64(plan.seed))
         } else {
@@ -608,6 +617,61 @@ mod tests {
         assert_eq!(state.deaths_due(40), &[(30, n(2))]);
         assert_eq!(state.deaths_due(60), &[(50, n(3))]);
         assert!(state.deaths_due(1_000).is_empty());
+    }
+
+    #[test]
+    fn duplicate_death_entries_collapse_to_the_earliest() {
+        // Node 1 is scheduled twice at one tick (plan + legacy list)
+        // and node 2 at two different ticks: one death each survives.
+        let plan = FaultPlan::new(0).death(10, n(1)).death(30, n(2));
+        let mut state = ChaosState::compile(&plan, &[(10, n(1)), (10, n(4)), (45, n(2))]);
+        assert_eq!(state.deaths_due(10), &[(10, n(1)), (10, n(4))]);
+        assert_eq!(state.deaths_due(50), &[(30, n(2))]);
+        assert!(state.deaths_due(1_000).is_empty());
+    }
+
+    #[test]
+    fn simultaneous_deaths_arrive_as_one_batch_per_tick() {
+        // The ≤R−1 durability oracle kills several nodes at one tick;
+        // the cursor must hand them all over in a single node-ordered
+        // batch, never spread across later calls.
+        let plan = FaultPlan::new(0)
+            .death(20, n(3))
+            .death(20, n(1))
+            .death(20, n(2));
+        let mut state = ChaosState::compile(&plan, &[]);
+        assert!(state.deaths_due(19).is_empty());
+        assert_eq!(state.deaths_due(20), &[(20, n(1)), (20, n(2)), (20, n(3))]);
+        assert!(state.deaths_due(20).is_empty());
+    }
+
+    #[test]
+    fn death_dedup_never_perturbs_the_seeded_rng_stream() {
+        // Exactly the perf-gate chaos fields (`chaos_cells`): seed
+        // 0xFA117, duplicate + reorder at intensity 0.4, a tick-10
+        // partition window. Deaths draw no randomness, so scheduling
+        // duplicates must leave every fate and counter bit-identical —
+        // this pins the RNG draw order across the dedup change.
+        let base = FaultPlan::new(0xFA117)
+            .duplicate(0.2)
+            .reorder(0.2, 2)
+            .partition(10, 90, vec![n(0)]);
+        let run = |plan: &FaultPlan, extra: &[(Tick, NodeId)]| {
+            let mut state = ChaosState::compile(plan, extra);
+            let fates: Vec<SendFate> = (0..400).map(|t| state.on_send(t, n(1), n(2), 1)).collect();
+            let mut deaths = Vec::new();
+            for t in 0..400 {
+                deaths.extend_from_slice(state.deaths_due(t));
+            }
+            (fates, state.stats, deaths)
+        };
+        let clean = run(&base, &[]);
+        let dup_plan = base.clone().death(25, n(5)).death(25, n(5));
+        let (fates, stats, deaths) = run(&dup_plan, &[(25, n(5)), (120, n(5))]);
+        assert_eq!(fates, clean.0);
+        assert_eq!(stats, clean.1);
+        assert_eq!(deaths, vec![(25, n(5))]);
+        assert!(stats.duplicated > 0 && stats.delayed > 0);
     }
 
     #[test]

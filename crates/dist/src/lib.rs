@@ -21,6 +21,12 @@
 //! * [`sim`] — the per-chunk protocol state machine, with opt-in
 //!   retry/backoff, FREEZE leases, and election timeouts
 //!   ([`sim::LivenessConfig`]) for partition tolerance.
+//! * [`membership`] — SWIM-style failure detection (ping / ping-req /
+//!   suspect / confirm) replacing scripted death oracles with a
+//!   deterministic detector over the same fault transport.
+//! * [`replica`] — versioned chunk replicas: last-writer-wins updates,
+//!   typed anti-entropy / read-repair exchange, and bounded
+//!   node-startup recovery.
 //! * [`runner`] — [`DistributedPlanner`], a drop-in
 //!   [`peercache_core::planner::CachePlanner`] that runs the protocol
 //!   chunk by chunk and reports message counts.
@@ -44,12 +50,16 @@
 pub mod chaos;
 pub mod engine;
 pub mod error;
+pub mod membership;
 pub mod protocol;
+pub mod replica;
 pub mod runner;
 pub mod sim;
 pub mod view;
 
 pub use chaos::{FaultPlan, FaultStats};
 pub use error::ProtocolError;
+pub use membership::{MemberState, MembershipEvent, MembershipEventKind, Swim, SwimConfig};
+pub use replica::{ReplicaSim, SyncMessage, Version, WriteOutcome};
 pub use runner::{DistributedConfig, DistributedPlanner, RunReport};
 pub use sim::LivenessConfig;

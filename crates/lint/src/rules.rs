@@ -112,12 +112,14 @@ impl NameRegistry {
 
 fn is_p1_scope(rel_path: &str) -> bool {
     // Protocol and event paths that must be panic-free: the whole dist
-    // crate's sources (now including the retry/timeout/chaos paths)
-    // plus the world event layer and the partition-tracking network
-    // model in core.
+    // crate's sources (the retry/timeout/chaos paths plus the SWIM
+    // membership detector and the versioned-replica exchange) and, in
+    // core, the world event layer, the partition-tracking network
+    // model, and the replication top-up that repair invokes mid-event.
     (rel_path.starts_with("crates/dist/src/") && rel_path.ends_with(".rs"))
         || rel_path == "crates/core/src/world.rs"
         || rel_path == "crates/core/src/model.rs"
+        || rel_path == "crates/core/src/replication.rs"
 }
 
 /// Run all rules over one file's token stream.

@@ -44,9 +44,15 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "dist.msg.span",
     "dist.msg.tight",
     "dist.plan",
+    "dist.replica.anti_entropy",
+    "dist.replica.read_repair",
     "dist.retry",
     "dist.round",
     "dist.sim.converged",
+    "dist.swim.confirm",
+    "dist.swim.ping",
+    "dist.swim.refute",
+    "dist.swim.suspect",
     "dist.timeout",
     "online.insert",
     "online.retire",
@@ -54,6 +60,7 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "planner.contention_bytes",
     "planner.region_count",
     "planner.scale",
+    "repair.recovery_bytes",
     "repro.figure",
     "repro.perf",
     "repro.trace",
@@ -73,6 +80,7 @@ pub const REGISTERED_NAMES: &[&str] = &[
     "world.partition_healed",
     "world.repair",
     "world.repair_vs_replan",
+    "world.replicas",
     "world.shard_count",
     "world.tick",
 ];

@@ -46,6 +46,11 @@ run cargo test --test chaos_trace --features strict-invariants -q
 # byte-identical digests across every Parallelism setting) must hold
 # with the per-tick shard oracles armed.
 run cargo test --test shard_world --features strict-invariants -q
+# The replication robustness suite: SWIM membership edge cases and the
+# R = 3 chaos trace (500+ faults, durability / convergence / recovery
+# oracles, byte-identical replay) with the oracles armed.
+run cargo test --test swim_membership --features strict-invariants -q
+run cargo test --test replication_chaos --features strict-invariants -q
 if [[ $fast -eq 0 ]]; then
     # Release-mode smoke runs of the hot-path benches: quick variants,
     # do not overwrite the committed BENCH_*.json files.
@@ -59,6 +64,10 @@ if [[ $fast -eq 0 ]]; then
     # equality across thread counts (full grid50 sweep is re-measured
     # by the perf gate against BENCH_shard.json).
     run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench shard
+    # Replication smoke: one R=1 trace cell with its structural oracles
+    # (full 3x3 matrix is re-measured by the perf gate against
+    # BENCH_replication.json).
+    run env PEERCACHE_BENCH_QUICK=1 cargo bench -p peercache-bench --bench replication
     # Perf-regression gate: re-runs the benches fresh and diffs the
     # structural counters (exact) and wall-clock numbers (tolerance
     # band, see PEERCACHE_PERF_TOL) against the committed BENCH_*.json.

@@ -41,8 +41,8 @@
 #![warn(missing_docs)]
 
 pub use peercache_core::{
-    approx, baselines, costs, exact, instance, metrics, online, placement, planner, report, scoped,
-    shard, sharded, workload, world, ChunkId, CoreError, Network, PartitionPolicy,
+    approx, baselines, costs, exact, instance, metrics, online, placement, planner, replication,
+    report, scoped, shard, sharded, workload, world, ChunkId, CoreError, Network, PartitionPolicy,
 };
 pub use peercache_dist as dist;
 pub use peercache_graph as graph;
@@ -66,6 +66,7 @@ pub mod prelude {
     pub use crate::metrics;
     pub use crate::placement::Placement;
     pub use crate::planner::CachePlanner;
+    pub use crate::replication::ReplicationPolicy;
     pub use crate::scoped::ScopedConfig;
     pub use crate::shard::CrossShardEvent;
     pub use crate::sharded::{ShardConfig, ShardedWorld, TickReport};

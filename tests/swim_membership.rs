@@ -1,0 +1,186 @@
+//! SWIM membership edge cases and world integration: a suspected node
+//! that is still alive must be refuted (not confirmed), flapping and
+//! grey links must not produce false-positive deaths, and membership
+//! confirmations driving [`WorldEvent::NodeDeparted`] must leave the
+//! sharded world byte-identical under every [`Parallelism`] setting.
+
+use peercache::approx::ApproxConfig;
+use peercache::dist::engine::Tick;
+use peercache::dist::membership::{MemberState, MembershipEventKind, Swim, SwimConfig};
+use peercache::graph::paths::Parallelism;
+use peercache::prelude::*;
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn swim(members: usize, timeout: Tick, seed: u64) -> Swim {
+    Swim::new(
+        (0..members).map(n),
+        SwimConfig {
+            ping_period: 4,
+            suspect_timeout: timeout,
+            ping_req_fanout: 2,
+            seed,
+        },
+    )
+}
+
+/// A node that goes silent briefly and then answers again is refuted by
+/// a later probe — it returns to Alive with a bumped incarnation and is
+/// never confirmed dead.
+#[test]
+fn suspect_timeout_is_refuted_by_a_live_node() {
+    let mut detector = swim(5, 40, 7);
+    let sleeper = n(3);
+    // Silent for ticks [40, 48): long enough for a probe round to miss
+    // it (direct + both indirect), far shorter than the 40-tick
+    // suspicion timeout.
+    let mut net = move |t: Tick, from: NodeId, to: NodeId| {
+        !((40..48).contains(&t) && (from == sleeper || to == sleeper))
+    };
+    for t in 0..200 {
+        detector.tick(t, &mut net);
+    }
+    let kinds: Vec<MembershipEventKind> = detector
+        .events()
+        .iter()
+        .filter(|e| e.node == sleeper)
+        .map(|e| e.kind)
+        .collect();
+    assert!(
+        kinds.contains(&MembershipEventKind::Suspected),
+        "the silent window must raise a suspicion"
+    );
+    assert!(
+        kinds.contains(&MembershipEventKind::Refuted),
+        "the live node must be refuted before the timeout"
+    );
+    assert!(
+        !kinds.contains(&MembershipEventKind::Confirmed),
+        "a refuted node is never confirmed"
+    );
+    assert!(matches!(
+        detector.state(sleeper),
+        Some(MemberState::Alive { incarnation } ) if incarnation >= 1
+    ));
+    assert!(detector.take_confirmed().is_empty());
+}
+
+/// A permanently flapping link plus a grey (randomly dropping) node:
+/// indirect ping-req probes route around the bad link, and a suspicion
+/// raised while the grey node's outbound happens to drop is refuted on
+/// the next successful probe. Neither node may ever be confirmed dead.
+#[test]
+fn flapping_and_grey_links_never_confirm_a_live_node() {
+    let mut detector = swim(6, 40, 11);
+    let flap_a = n(0);
+    let grey = n(4);
+    let mut net = move |t: Tick, from: NodeId, to: NodeId| {
+        // The (0, 4) link is down in both directions forever.
+        if (from == flap_a && to == grey) || (from == grey && to == flap_a) {
+            return false;
+        }
+        // The grey node sheds inbound and outbound traffic on a
+        // deterministic ~1/3 duty cycle keyed to the sender.
+        if (from == grey || to == grey) && (t + from.index() as Tick).is_multiple_of(3) {
+            return false;
+        }
+        true
+    };
+    for t in 0..400 {
+        detector.tick(t, &mut net);
+    }
+    for node in [flap_a, grey] {
+        assert!(
+            detector.is_live(node),
+            "{node:?} is alive and must stay a member"
+        );
+        assert!(matches!(
+            detector.state(node),
+            Some(MemberState::Alive { .. })
+        ));
+    }
+    assert!(
+        detector
+            .events()
+            .iter()
+            .all(|e| e.kind != MembershipEventKind::Confirmed),
+        "no false-positive confirmation under flap + grey faults"
+    );
+    // Every suspicion raised against the grey node was refuted.
+    let grey_suspects = detector
+        .events()
+        .iter()
+        .filter(|e| e.node == grey && e.kind == MembershipEventKind::Suspected)
+        .count();
+    let grey_refutes = detector
+        .events()
+        .iter()
+        .filter(|e| e.node == grey && e.kind == MembershipEventKind::Refuted)
+        .count();
+    assert_eq!(grey_suspects, grey_refutes);
+}
+
+/// Runs the detector against a genuinely dead node and feeds each
+/// confirmation into the sharded world as a [`WorldEvent::NodeDeparted`].
+/// The combined trace must replay byte-identically under every
+/// parallelism setting — SWIM draws its own seeded stream and must not
+/// perturb (or be perturbed by) the shard fan-out.
+fn run_membership_world(par: Parallelism) -> (u64, u64, Vec<TickReport>) {
+    let net = Network::new(builders::grid(8, 8), NodeId::new(0), 4).expect("grid builds");
+    let cfg = ShardConfig {
+        approx: ApproxConfig {
+            parallelism: par,
+            ..ApproxConfig::default()
+        },
+        scoped: ScopedConfig::default(),
+    };
+    let mut world = ShardedWorld::new(net, cfg).expect("sharded world builds");
+    // Members = every non-producer node; the producer is infrastructure.
+    let mut detector = Swim::new((1..64).map(n), SwimConfig::default());
+    let dead = [(40, n(13)), (40, n(37)), (90, n(55))];
+    let mut net_fn = move |t: Tick, from: NodeId, to: NodeId| {
+        !dead
+            .iter()
+            .any(|&(at, d)| t >= at && (from == d || to == d))
+    };
+    let mut reports = Vec::new();
+    for t in 0..160u64 {
+        detector.tick(t, &mut net_fn);
+        let mut batch: Vec<WorldEvent> = detector
+            .take_confirmed()
+            .into_iter()
+            .map(WorldEvent::NodeDeparted)
+            .collect();
+        if t % 10 == 0 {
+            batch.push(WorldEvent::ChunkArrived);
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let report = world.tick(&batch).expect("tick applies");
+        world.validate().expect("world stays consistent");
+        reports.push(report);
+    }
+    // All three scripted deaths were detected and applied.
+    for &(_, d) in &dead {
+        assert!(!detector.is_live(d), "{d:?} must be confirmed dead");
+        assert!(
+            !world.network().active_nodes().contains(&d),
+            "{d:?} must have departed the world"
+        );
+    }
+    (world.state_digest(), detector.digest(), reports)
+}
+
+#[test]
+fn membership_driven_departures_replay_identically_across_parallelism() {
+    let (digest, swim_digest, reports) = run_membership_world(Parallelism::Sequential);
+    for par in [Parallelism::Threads(2), Parallelism::Auto] {
+        let (d, s, r) = run_membership_world(par);
+        assert_eq!(d, digest, "{par:?}: world digest diverged");
+        assert_eq!(s, swim_digest, "{par:?}: membership history diverged");
+        assert_eq!(r, reports, "{par:?}: tick reports diverged");
+    }
+}
